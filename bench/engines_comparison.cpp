@@ -1,0 +1,99 @@
+// Three ways to decide timed reachability, side by side:
+//
+//   * relative-timing refinement (the paper's method, [13]),
+//   * dense-time zone graphs (DBM polyhedra, the timed-automata tradition),
+//   * digitized time ([8], one integer age per enabled event).
+//
+// The paper's Section 1 argues that exact timed state spaces (zones,
+// regions, discretization) scale poorly with clock count and constant
+// magnitude, motivating relative timing.  This bench measures all three on
+// the same obligations, including a constant-magnitude sweep where the
+// digitized engine's cost grows with the constants while zones and
+// relative timing stay flat.
+#include <cstdio>
+
+#include "rtv/circuit/invariants.hpp"
+#include "rtv/ipcmos/experiments.hpp"
+#include "rtv/ts/gallery.hpp"
+#include "rtv/zone/discrete.hpp"
+#include "rtv/zone/zone_graph.hpp"
+
+using namespace rtv;
+using namespace rtv::ipcmos;
+
+int main() {
+  std::printf("%-36s %14s %14s %14s\n", "system", "relative", "zones",
+              "digitized");
+  std::printf("%-36s %14s %14s %14s\n", "", "(states)", "(zones)", "(configs)");
+
+  // Intro example.
+  {
+    const Module sys = gallery::intro_example();
+    const Module mon = gallery::order_monitor("g", "d");
+    const InvariantProperty bad("g before d", {{"fail", true}});
+    const VerificationResult rt = verify_modules({&sys, &mon}, {&bad});
+    const ZoneVerifyResult zn = zone_verify({&sys, &mon}, {&bad});
+    const DiscreteVerifyResult dg = discrete_verify({&sys, &mon}, {&bad});
+    std::printf("%-36s %14zu %14zu %14zu\n", "intro example",
+                rt.final_states_explored, zn.zones_explored, dg.states_explored);
+  }
+
+  // IPCMOS 1-stage.
+  {
+    const ExperimentConfig cfg;
+    const VerificationResult rt = experiment5(cfg);
+    const ModuleSet set = flat_pipeline(1, cfg.timing);
+    const Netlist nl =
+        make_stage_netlist("I1", linear_channels(1), cfg.timing.stage);
+    const auto scs = short_circuit_properties(nl);
+    const DeadlockFreedom dead;
+    const PersistencyProperty pers;
+    std::vector<const SafetyProperty*> props{&dead, &pers};
+    for (const auto& p : scs) props.push_back(p.get());
+    const ZoneVerifyResult zn = zone_verify(set.ptrs, props);
+    const DiscreteVerifyResult dg = discrete_verify(set.ptrs, props);
+    std::printf("%-36s %14zu %14zu %14zu\n", "IPCMOS 1-stage (exp 5)",
+                rt.final_states_explored, zn.zones_explored, dg.states_explored);
+    std::printf("  verdicts: %s / %s / %s\n", to_string(rt.verdict),
+                zn.violated ? "violated" : "holds",
+                dg.violated ? "violated" : "holds");
+  }
+
+  // Constant-magnitude sweep on a 3-way race: digitization pays per tick.
+  std::printf("\nconstant-magnitude sweep (3 concurrent chains, scale k):\n");
+  std::printf("%6s %14s %14s %14s\n", "k", "relative", "zones", "digitized");
+  for (int k = 1; k <= 8; k *= 2) {
+    TransitionSystem ts;
+    const double s = k;
+    const EventId a = ts.add_event("a", DelayInterval::units(1 * s, 2 * s));
+    const EventId b = ts.add_event("b", DelayInterval::units(1 * s, 3 * s));
+    const EventId c = ts.add_event("c", DelayInterval::units(2 * s, 3 * s));
+    StateId grid[2][2][2];
+    for (int i = 0; i < 2; ++i)
+      for (int j = 0; j < 2; ++j)
+        for (int l = 0; l < 2; ++l) grid[i][j][l] = ts.add_state();
+    for (int i = 0; i < 2; ++i)
+      for (int j = 0; j < 2; ++j)
+        for (int l = 0; l < 2; ++l) {
+          if (!i) ts.add_transition(grid[i][j][l], a, grid[1][j][l]);
+          if (!j) ts.add_transition(grid[i][j][l], b, grid[i][1][l]);
+          if (!l) ts.add_transition(grid[i][j][l], c, grid[i][j][1]);
+        }
+    ts.set_initial(grid[0][0][0]);
+    const Module m("race3", std::move(ts));
+    const Module mon = gallery::order_monitor("a", "c");
+    const InvariantProperty bad("a before c", {{"fail", true}});
+    const VerificationResult rt = verify_modules({&m, &mon}, {&bad});
+    const ZoneVerifyResult zn = zone_verify({&m, &mon}, {&bad});
+    const DiscreteVerifyResult dg = discrete_verify({&m, &mon}, {&bad});
+    std::printf("%6d %14zu %14zu %14zu   (all agree: %s)\n", k,
+                rt.final_states_explored, zn.zones_explored, dg.states_explored,
+                (rt.verified() == !zn.violated && zn.violated == dg.violated)
+                    ? "yes"
+                    : "NO");
+  }
+  std::printf("\nzones and relative timing are constant in k; digitized "
+              "configs grow\nlinearly with the constants — the cost [8] pays "
+              "and the paper avoids.\n");
+  return 0;
+}

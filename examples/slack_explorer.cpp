@@ -1,0 +1,94 @@
+// Slack explorer: how much can a delay drift before the circuit breaks?
+//
+// The back-annotated constraints of the verification describe orderings
+// that must hold; this tool sweeps one stage delay (by name) and reports
+// the verified/failing boundary, i.e. the slack the paper's Section 5.3
+// talks about.
+//
+//   $ ./slack_explorer                 # sweep the default parameter
+//   $ ./slack_explorer y_fall 1 6 0.5  # sweep y_fall's upper bound
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "rtv/ipcmos/experiments.hpp"
+
+using namespace rtv;
+using namespace rtv::ipcmos;
+
+namespace {
+
+DelayInterval* select(StageTiming& t, const std::string& name) {
+  if (name == "vint_fall") return &t.vint_fall;
+  if (name == "vint_rise") return &t.vint_rise;
+  if (name == "z_rise") return &t.z_rise;
+  if (name == "z_fall") return &t.z_fall;
+  if (name == "y_rise") return &t.y_rise;
+  if (name == "y_fall") return &t.y_fall;
+  if (name == "x_rise") return &t.x_rise;
+  if (name == "x_fall") return &t.x_fall;
+  if (name == "ack_rise") return &t.ack_rise;
+  if (name == "ack_fall") return &t.ack_fall;
+  if (name == "a2_rise") return &t.a2_rise;
+  if (name == "a2_fall") return &t.a2_fall;
+  if (name == "clke_rise") return &t.clke_rise;
+  if (name == "clke_fall") return &t.clke_fall;
+  if (name == "d_rise") return &t.d_rise;
+  if (name == "d_fall") return &t.d_fall;
+  if (name == "r_rise") return &t.r_rise;
+  if (name == "r_fall") return &t.r_fall;
+  if (name == "valid_rise") return &t.valid_rise;
+  if (name == "valid_fall") return &t.valid_fall;
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string param = argc > 1 ? argv[1] : "y_fall";
+  const double from = argc > 2 ? std::atof(argv[2]) : 1.0;
+  const double to = argc > 3 ? std::atof(argv[3]) : 6.0;
+  const double step = argc > 4 ? std::atof(argv[4]) : 0.5;
+
+  StageTiming probe;
+  DelayInterval* slot = select(probe, param);
+  if (slot == nullptr) {
+    std::printf("unknown stage delay '%s'\n", param.c_str());
+    return 2;
+  }
+  std::printf("sweeping %s upper bound over [%.2f, %.2f] step %.2f\n"
+              "(lower bound kept at %.2f; experiment 5 re-run per point)\n\n",
+              param.c_str(), from, to, step, units_from_ticks(slot->lo()));
+
+  double last_ok = -1, first_bad = -1;
+  for (double v = from; v <= to + 1e-9; v += step) {
+    ExperimentConfig cfg;
+    DelayInterval* target = select(cfg.timing.stage, param);
+    const Time lo = target->lo();
+    const Time hi = ticks_from_units(v);
+    if (hi < lo) continue;
+    *target = DelayInterval(lo, hi);
+    const VerificationResult r = experiment5(cfg);
+    std::printf("  %s = [%.2f, %.2f] : %s", param.c_str(),
+                units_from_ticks(lo), v, to_string(r.verdict));
+    if (!r.verified() && !r.counterexample_text.empty()) {
+      std::printf("  (%s)", r.message.c_str());
+    }
+    std::printf("\n");
+    if (r.verified()) {
+      last_ok = v;
+    } else if (first_bad < 0) {
+      first_bad = v;
+    }
+  }
+  if (first_bad >= 0 && last_ok >= 0) {
+    std::printf("\nslack: %s may grow to %.2f units; it breaks at %.2f.\n",
+                param.c_str(), last_ok, first_bad);
+  } else if (first_bad < 0) {
+    std::printf("\nno failure in the swept range.\n");
+  } else {
+    std::printf("\nthe whole swept range fails.\n");
+  }
+  return 0;
+}

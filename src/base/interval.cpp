@@ -1,0 +1,63 @@
+#include "rtv/base/interval.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace rtv {
+
+Time ticks_from_units(double units) {
+  return static_cast<Time>(std::llround(units * static_cast<double>(kTicksPerUnit)));
+}
+
+double units_from_ticks(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kTicksPerUnit);
+}
+
+DelayInterval DelayInterval::units(double lo, double hi) {
+  return DelayInterval(ticks_from_units(lo), ticks_from_units(hi));
+}
+
+DelayInterval DelayInterval::at_least_units(double lo) {
+  return DelayInterval(ticks_from_units(lo), kTimeInfinity);
+}
+
+DelayInterval DelayInterval::exactly_units(double d) {
+  const Time t = ticks_from_units(d);
+  return DelayInterval(t, t);
+}
+
+DelayInterval DelayInterval::intersect(const DelayInterval& other) const {
+  return DelayInterval(std::max(lo_, other.lo_), std::min(hi_, other.hi_));
+}
+
+DelayInterval DelayInterval::widened(double slack) const {
+  assert(slack >= 0.0);
+  const Time new_lo =
+      static_cast<Time>(std::llround(static_cast<double>(lo_) * (1.0 - slack)));
+  Time new_hi = hi_;
+  if (upper_bounded()) {
+    new_hi = static_cast<Time>(std::llround(static_cast<double>(hi_) * (1.0 + slack)));
+  }
+  return DelayInterval(std::max<Time>(0, new_lo), new_hi);
+}
+
+std::string DelayInterval::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const DelayInterval& d) {
+  os << '[' << units_from_ticks(d.lo()) << ',';
+  if (d.upper_bounded()) {
+    os << units_from_ticks(d.hi()) << ']';
+  } else {
+    os << "inf)";
+  }
+  return os;
+}
+
+}  // namespace rtv

@@ -1,0 +1,154 @@
+#include "rtv/circuit/elaborate.hpp"
+
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace rtv {
+
+namespace {
+
+struct Drive {
+  bool strong_up = false, weak_up = false;
+  bool strong_down = false, weak_down = false;
+
+  bool up() const { return strong_up || (weak_up && !strong_down); }
+  bool down() const { return strong_down || (weak_down && !strong_up); }
+  bool contested() const { return strong_up && strong_down; }
+};
+
+}  // namespace
+
+Module elaborate(const Netlist& netlist, const CircuitElaborateOptions& options) {
+  const std::size_t n_nodes = netlist.num_nodes();
+  const std::vector<NodeId> sc_nodes = netlist.short_circuit_candidates();
+
+  TransitionSystem ts;
+  std::vector<std::string> signals;
+  for (std::size_t i = 0; i < n_nodes; ++i)
+    signals.push_back(netlist.node_name(NodeId(static_cast<NodeId::underlying_type>(i))));
+  for (NodeId n : sc_nodes) signals.push_back("SC_" + netlist.node_name(n));
+  ts.set_signal_names(signals);
+
+  // Rise/fall events per node.  Delays are the union of the delays of the
+  // stacks able to drive that direction (exact when one stack per
+  // direction, which is the common case in the IPCMOS netlists).
+  std::vector<EventId> rise(n_nodes), fall(n_nodes);
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    const NodeId n(static_cast<NodeId::underlying_type>(i));
+    const std::string& name = netlist.node_name(n);
+    const EventKind kind = netlist.is_input(n)
+                               ? EventKind::kInput
+                               : (netlist.is_boundary(n) ? EventKind::kOutput
+                                                         : EventKind::kInternal);
+    DelayInterval up_delay = DelayInterval::unbounded();
+    DelayInterval down_delay = DelayInterval::unbounded();
+    if (!netlist.is_input(n)) {
+      Time up_lo = kTimeInfinity, up_hi = 0, down_lo = kTimeInfinity, down_hi = 0;
+      for (const Stack* s : netlist.stacks_of(n)) {
+        const bool can_up = s->type != StackType::kPullDown;
+        const bool can_down = s->type != StackType::kPullUp;
+        if (can_up) {
+          up_lo = std::min(up_lo, s->delay.lo());
+          up_hi = std::max(up_hi, s->delay.hi());
+        }
+        if (can_down) {
+          down_lo = std::min(down_lo, s->delay.lo());
+          down_hi = std::max(down_hi, s->delay.hi());
+        }
+      }
+      if (up_lo <= up_hi) up_delay = DelayInterval(up_lo, up_hi);
+      if (down_lo <= down_hi) down_delay = DelayInterval(down_lo, down_hi);
+    }
+    rise[i] = ts.add_event(transition_label(name, true), up_delay, kind);
+    fall[i] = ts.add_event(transition_label(name, false), down_delay, kind);
+  }
+
+  auto drives = [&](const BitVec& v) {
+    std::vector<Drive> d(n_nodes);
+    for (const Stack& s : netlist.stacks()) {
+      if (!netlist.exprs().eval(s.guard, v)) continue;
+      Drive& t = d[s.target.value()];
+      bool up = false, down = false;
+      switch (s.type) {
+        case StackType::kPullUp:
+          up = true;
+          break;
+        case StackType::kPullDown:
+          down = true;
+          break;
+        case StackType::kPass:
+          (v.test(s.source.value()) ? up : down) = true;
+          break;
+      }
+      if (up) (s.weak ? t.weak_up : t.strong_up) = true;
+      if (down) (s.weak ? t.weak_down : t.strong_down) = true;
+    }
+    return d;
+  };
+
+  auto valuation_with_flags = [&](const BitVec& v, const std::vector<Drive>& d) {
+    BitVec full(signals.size());
+    for (std::size_t i = 0; i < n_nodes; ++i)
+      if (v.test(i)) full.set(i);
+    for (std::size_t k = 0; k < sc_nodes.size(); ++k)
+      if (d[sc_nodes[k].value()].contested()) full.set(n_nodes + k);
+    return full;
+  };
+
+  std::unordered_map<BitVec, StateId> index;
+  std::deque<BitVec> queue;
+
+  auto intern = [&](const BitVec& v) {
+    auto it = index.find(v);
+    if (it != index.end()) return it->second;
+    const StateId s = ts.add_state();
+    ts.set_state_valuation(s, valuation_with_flags(v, drives(v)));
+    index.emplace(v, s);
+    queue.push_back(v);
+    return s;
+  };
+
+  BitVec init(n_nodes);
+  for (std::size_t i = 0; i < n_nodes; ++i)
+    if (netlist.initial_value(NodeId(static_cast<NodeId::underlying_type>(i))))
+      init.set(i);
+  ts.set_initial(intern(init));
+
+  while (!queue.empty()) {
+    if (index.size() > options.max_states)
+      throw std::runtime_error("circuit '" + netlist.name() +
+                               "': state budget exhausted");
+    const BitVec v = queue.front();
+    queue.pop_front();
+    const StateId from = index.at(v);
+    const std::vector<Drive> d = drives(v);
+
+    for (std::size_t i = 0; i < n_nodes; ++i) {
+      const NodeId n(static_cast<NodeId::underlying_type>(i));
+      const bool value = v.test(i);
+      bool can_rise, can_fall;
+      if (netlist.is_input(n)) {
+        can_rise = !value;
+        can_fall = value;
+      } else {
+        can_rise = !value && d[i].up() && !d[i].down();
+        can_fall = value && d[i].down() && !d[i].up();
+      }
+      if (can_rise) {
+        BitVec next = v;
+        next.set(i);
+        ts.add_transition(from, rise[i], intern(next));
+      }
+      if (can_fall) {
+        BitVec next = v;
+        next.reset(i);
+        ts.add_transition(from, fall[i], intern(next));
+      }
+    }
+  }
+
+  return Module(netlist.name(), std::move(ts));
+}
+
+}  // namespace rtv

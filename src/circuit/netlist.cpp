@@ -1,0 +1,93 @@
+#include "rtv/circuit/netlist.hpp"
+
+#include <cassert>
+
+namespace rtv {
+
+NodeId Netlist::add_node(std::string name, bool initial_value, bool input,
+                         bool boundary) {
+  names_.push_back(std::move(name));
+  initial_.push_back(initial_value);
+  input_.push_back(input);
+  boundary_.push_back(boundary);
+  return NodeId(static_cast<NodeId::underlying_type>(names_.size() - 1));
+}
+
+void Netlist::add_stack(Stack stack) {
+  assert(stack.target.valid());
+  assert(stack.type != StackType::kPass || stack.source.valid());
+  stacks_.push_back(std::move(stack));
+}
+
+void Netlist::pull_up(NodeId target, Expr guard, DelayInterval delay,
+                      int transistors, bool weak) {
+  Stack s;
+  s.type = StackType::kPullUp;
+  s.target = target;
+  s.guard = guard;
+  s.delay = delay;
+  s.transistors = transistors;
+  s.weak = weak;
+  add_stack(std::move(s));
+}
+
+void Netlist::pull_down(NodeId target, Expr guard, DelayInterval delay,
+                        int transistors, bool weak) {
+  Stack s;
+  s.type = StackType::kPullDown;
+  s.target = target;
+  s.guard = guard;
+  s.delay = delay;
+  s.transistors = transistors;
+  s.weak = weak;
+  add_stack(std::move(s));
+}
+
+void Netlist::pass(NodeId target, NodeId source, Expr gate, DelayInterval delay,
+                   int transistors) {
+  Stack s;
+  s.type = StackType::kPass;
+  s.target = target;
+  s.source = source;
+  s.guard = gate;
+  s.delay = delay;
+  s.transistors = transistors;
+  add_stack(std::move(s));
+}
+
+NodeId Netlist::node_by_name(const std::string& name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i)
+    if (names_[i] == name)
+      return NodeId(static_cast<NodeId::underlying_type>(i));
+  return NodeId::invalid();
+}
+
+std::vector<const Stack*> Netlist::stacks_of(NodeId n) const {
+  std::vector<const Stack*> out;
+  for (const Stack& s : stacks_)
+    if (s.target == n) out.push_back(&s);
+  return out;
+}
+
+int Netlist::transistor_count() const {
+  int total = 0;
+  for (const Stack& s : stacks_) total += s.transistors;
+  return total;
+}
+
+std::vector<NodeId> Netlist::short_circuit_candidates() const {
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    const NodeId n(static_cast<NodeId::underlying_type>(i));
+    bool up = false, down = false;
+    for (const Stack* s : stacks_of(n)) {
+      if (s->type == StackType::kPullUp) up = true;
+      if (s->type == StackType::kPullDown) down = true;
+      if (s->type == StackType::kPass) up = down = true;  // either direction
+    }
+    if (up && down) out.push_back(n);
+  }
+  return out;
+}
+
+}  // namespace rtv

@@ -1,0 +1,67 @@
+// Strong integer id types used across the library.
+//
+// Every arena-indexed entity (states, events, places, circuit nodes, ...)
+// gets its own id type so that an EventId cannot silently be used where a
+// StateId is expected.  Ids are trivially copyable and hashable.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <functional>
+#include <limits>
+
+namespace rtv {
+
+/// CRTP-free tagged index.  `Tag` is an empty struct used only to
+/// distinguish id spaces at compile time.
+template <typename Tag>
+class Id {
+ public:
+  using underlying_type = std::uint32_t;
+
+  constexpr Id() = default;
+  constexpr explicit Id(underlying_type v) : value_(v) {}
+
+  /// Sentinel meaning "no entity".
+  static constexpr Id invalid() {
+    return Id(std::numeric_limits<underlying_type>::max());
+  }
+
+  constexpr bool valid() const { return value_ != invalid().value_; }
+  constexpr underlying_type value() const { return value_; }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value_ < b.value_; }
+
+ private:
+  underlying_type value_ = std::numeric_limits<underlying_type>::max();
+};
+
+struct StateTag {};
+struct EventTag {};
+struct NodeTag {};
+struct PlaceTag {};
+struct SignalTag {};
+
+/// A state of a (timed) transition system.
+using StateId = Id<StateTag>;
+/// An event (labelled transition) of a (timed) transition system.
+using EventId = Id<EventTag>;
+/// A circuit node (wire) in a transistor netlist.
+using NodeId = Id<NodeTag>;
+/// A place of a Petri net / STG.
+using PlaceId = Id<PlaceTag>;
+/// A named boolean signal shared between composed modules.
+using SignalId = Id<SignalTag>;
+
+}  // namespace rtv
+
+namespace std {
+template <typename Tag>
+struct hash<rtv::Id<Tag>> {
+  size_t operator()(rtv::Id<Tag> id) const noexcept {
+    return std::hash<typename rtv::Id<Tag>::underlying_type>()(id.value());
+  }
+};
+}  // namespace std

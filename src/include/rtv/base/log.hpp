@@ -1,0 +1,49 @@
+// Minimal leveled logging.
+//
+// The refinement engine logs one line per iteration at Info level; detailed
+// trace/CES dumps go to Debug.  Logging is globally configurable and cheap
+// when disabled.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rtv {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit a single log line (newline appended) if level passes the threshold.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogMessage {
+ public:
+  LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, os_.str()); }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace rtv
+
+#define RTV_LOG(level_)                              \
+  if (static_cast<int>(level_) < static_cast<int>(::rtv::log_level())) { \
+  } else                                             \
+    ::rtv::detail::LogMessage(level_)
+
+#define RTV_DEBUG RTV_LOG(::rtv::LogLevel::kDebug)
+#define RTV_INFO RTV_LOG(::rtv::LogLevel::kInfo)
+#define RTV_WARN RTV_LOG(::rtv::LogLevel::kWarn)
+#define RTV_ERROR RTV_LOG(::rtv::LogLevel::kError)

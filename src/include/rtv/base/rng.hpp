@@ -1,0 +1,40 @@
+// Deterministic pseudo-random number generation for property tests,
+// randomized system generators, and the timed simulator.
+//
+// xoshiro256** seeded via splitmix64; identical sequences across platforms,
+// unlike std::default_random_engine.
+#pragma once
+
+#include <cstdint>
+
+#include "rtv/base/interval.hpp"
+
+namespace rtv {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, n).  n must be > 0.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double unit();
+
+  /// True with probability p.
+  bool chance(double p);
+
+  /// A delay drawn uniformly from the interval; unbounded upper bounds are
+  /// clamped to lo + `unbounded_span` ticks so simulation always progresses.
+  Time sample_delay(const DelayInterval& d, Time unbounded_span = 10 * kTicksPerUnit);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace rtv

@@ -1,0 +1,28 @@
+// Netlist -> Module elaboration.
+//
+// Circuit states are node valuations; events are rise/fall transitions of
+// nodes.  A non-input node rises when some up-driver is active and no
+// opposing drive wins (weak stacks yield to strong ones); input nodes are
+// receptive — their transitions are always enabled at the opposite value
+// and the composed environment decides when they fire.
+//
+// Besides the node signals, the elaborated states expose one derived
+// signal "SC_<node>" per short-circuit candidate, true whenever both an
+// up-drive and a down-drive are simultaneously active — the paper's
+// Section 5.1 short-circuit invariants become plain invariant properties
+// over these signals.
+#pragma once
+
+#include "rtv/circuit/netlist.hpp"
+#include "rtv/ts/module.hpp"
+
+namespace rtv {
+
+struct CircuitElaborateOptions {
+  std::size_t max_states = 2'000'000;
+};
+
+Module elaborate(const Netlist& netlist,
+                 const CircuitElaborateOptions& options = {});
+
+}  // namespace rtv

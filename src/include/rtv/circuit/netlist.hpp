@@ -1,0 +1,90 @@
+// Transistor-level netlists.
+//
+// A node (wire) is driven by stacks of pull-up and pull-down transistors
+// and possibly pass-transistors (Section 5.1 of the paper).  Each stack is
+// modelled by a guard (the series/parallel gate network), a delay interval
+// for the switch once enabled, and a transistor count for the paper's
+//   N_transistors = 21 + 7*N_inputs + 4*N_outputs
+// accounting.  Weak stacks (keepers) drive only when no opposing strong
+// stack is active.  Bidirectional pass-transistors are not modelled, as in
+// the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rtv/base/ids.hpp"
+#include "rtv/base/interval.hpp"
+#include "rtv/expr/expr.hpp"
+
+namespace rtv {
+
+enum class StackType {
+  kPullUp,    ///< drives 1 when the guard holds
+  kPullDown,  ///< drives 0 when the guard holds
+  kPass       ///< copies `source` when the guard holds
+};
+
+struct Stack {
+  StackType type = StackType::kPullUp;
+  NodeId target;
+  Expr guard;      ///< over node values
+  NodeId source;   ///< kPass only
+  DelayInterval delay = DelayInterval::units(1, 2);
+  int transistors = 1;
+  bool weak = false;
+};
+
+class Netlist {
+ public:
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  ExprPool& exprs() { return pool_; }
+  const ExprPool& exprs() const { return pool_; }
+
+  /// `input`: node driven by the environment (its rise/fall events become
+  /// module inputs).  `boundary`: node observable at the interface (its
+  /// events become module outputs rather than internal).
+  NodeId add_node(std::string name, bool initial_value, bool input = false,
+                  bool boundary = false);
+
+  void add_stack(Stack stack);
+
+  // Convenience builders.
+  void pull_up(NodeId target, Expr guard, DelayInterval delay, int transistors,
+               bool weak = false);
+  void pull_down(NodeId target, Expr guard, DelayInterval delay,
+                 int transistors, bool weak = false);
+  void pass(NodeId target, NodeId source, Expr gate, DelayInterval delay,
+            int transistors);
+
+  std::size_t num_nodes() const { return names_.size(); }
+  const std::string& node_name(NodeId n) const { return names_[n.value()]; }
+  NodeId node_by_name(const std::string& name) const;
+  bool initial_value(NodeId n) const { return initial_[n.value()]; }
+  bool is_input(NodeId n) const { return input_[n.value()]; }
+  bool is_boundary(NodeId n) const { return boundary_[n.value()]; }
+  const std::vector<Stack>& stacks() const { return stacks_; }
+
+  /// Stacks driving a given node.
+  std::vector<const Stack*> stacks_of(NodeId n) const;
+
+  /// Total transistor count (sums the per-stack counts).
+  int transistor_count() const;
+
+  /// Nodes that have both an up-driver and a down-driver and can therefore
+  /// short-circuit.
+  std::vector<NodeId> short_circuit_candidates() const;
+
+ private:
+  std::string name_;
+  ExprPool pool_;
+  std::vector<std::string> names_;
+  std::vector<bool> initial_;
+  std::vector<bool> input_;
+  std::vector<bool> boundary_;
+  std::vector<Stack> stacks_;
+};
+
+}  // namespace rtv

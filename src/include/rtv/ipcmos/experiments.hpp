@@ -1,0 +1,46 @@
+// The five verification experiments of Table 1 (Section 4.2):
+//
+//   1. A_in || A_out |= S                (assume: abstractions meet the spec)
+//   2. A_in || I || OUT  <=  A_out       (guarantee A_out)
+//   3. IN  || I || A_out <=  A_in        (guarantee A_in, induction base)
+//   4. A_in || I || A_out <=  A_in       (A_in is a behavioural fixed point)
+//   5. IN  || I || OUT  |= S             (1-stage pipeline, both ends pulsed)
+//
+// S ("every data item is acknowledged once and only once at every stage")
+// is checked as deadlock-freedom of the closed control system plus the
+// protocol conformance embodied by the environment/abstraction STGs (an
+// extra or missing ACK chokes them), plus the CMOS correctness conditions
+// (short-circuit invariants and persistency) whenever a transistor-level
+// stage is present.
+#pragma once
+
+#include "rtv/ipcmos/pipeline.hpp"
+#include "rtv/verify/refinement.hpp"
+
+namespace rtv::ipcmos {
+
+struct ExperimentConfig {
+  PipelineTiming timing;
+  VerifyOptions verify;
+};
+
+VerificationResult experiment1(const ExperimentConfig& cfg = {});
+VerificationResult experiment2(const ExperimentConfig& cfg = {});
+VerificationResult experiment3(const ExperimentConfig& cfg = {});
+VerificationResult experiment4(const ExperimentConfig& cfg = {});
+VerificationResult experiment5(const ExperimentConfig& cfg = {});
+
+/// All five in order, with the paper's row labels.
+struct NamedResult {
+  std::string name;
+  VerificationResult result;
+};
+std::vector<NamedResult> run_all_experiments(const ExperimentConfig& cfg = {});
+
+/// Flat (no abstraction) verification of an n-stage pipeline:
+/// IN || I1 || ... || In || OUT |= S.  Used by the scaling bench to
+/// reproduce the paper's observation that flat verification is impractical
+/// beyond ~2 stages.
+VerificationResult flat_experiment(int n_stages, const ExperimentConfig& cfg = {});
+
+}  // namespace rtv::ipcmos

@@ -1,0 +1,46 @@
+// n-stage linear IPCMOS pipelines and their environments/abstractions,
+// using the boundary naming  IN --V1/A1--> I1 --V2/A2--> ... --V{n+1}/A{n+1}--> OUT.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "rtv/ipcmos/stage.hpp"
+#include "rtv/stg/library.hpp"
+#include "rtv/ts/module.hpp"
+
+namespace rtv::ipcmos {
+
+struct PipelineTiming {
+  StageTiming stage;
+  stg_library::EnvTiming env;
+};
+
+/// Owning bundle of modules ready for composition.
+struct ModuleSet {
+  std::vector<std::unique_ptr<Module>> owned;
+  std::vector<const Module*> ptrs;
+
+  Module& add(Module m) {
+    owned.push_back(std::make_unique<Module>(std::move(m)));
+    ptrs.push_back(owned.back().get());
+    return *owned.back();
+  }
+};
+
+/// Stage k of a linear pipeline (boundaries V{k}/A{k} and V{k+1}/A{k+1}).
+Module make_stage(int k, const PipelineTiming& t = {});
+
+/// IN feeding boundary 1; OUT consuming boundary n+1.
+Module make_in_env(const PipelineTiming& t = {});
+Module make_out_env(int n_stages, const PipelineTiming& t = {});
+
+/// Untimed abstractions at a given boundary.
+Module make_ain(int boundary);
+Module make_aout(int boundary);
+
+/// IN || I1 || ... || In || OUT — the full flat pipeline (experiment 5 for
+/// n = 1; the scaling bench for larger n).
+ModuleSet flat_pipeline(int n_stages, const PipelineTiming& t = {});
+
+}  // namespace rtv::ipcmos

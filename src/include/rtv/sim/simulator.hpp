@@ -1,0 +1,50 @@
+// Timed discrete-event simulation of a composed transition system.
+//
+// Each enabled event is scheduled at enabling-time + a delay sampled
+// uniformly from its interval; the earliest schedule fires (race semantics
+// matching the TTS model).  Used to produce the Fig. 7 waveform and for
+// randomized conformance testing against the verifier.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rtv/base/rng.hpp"
+#include "rtv/ts/transition_system.hpp"
+
+namespace rtv {
+
+struct SimEvent {
+  Time time = 0;
+  EventId event;
+  std::string label;
+  StateId state_after;
+};
+
+struct SimTrace {
+  std::vector<SimEvent> events;
+  /// Signal values sampled after each event (parallel to `events`) when the
+  /// system carries valuations.
+  std::vector<BitVec> valuations;
+  /// Signal table the valuations refer to (empty: use the system's own).
+  std::vector<std::string> signal_names;
+  bool deadlocked = false;
+  Time end_time = 0;
+};
+
+struct SimOptions {
+  std::size_t max_events = 10000;
+  Time max_time = 1000 * kTicksPerUnit;
+  std::uint64_t seed = 1;
+};
+
+SimTrace simulate(const TransitionSystem& ts, const SimOptions& options = {});
+
+/// On-the-fly timed simulation of a module composition (no product
+/// construction — scales to pipelines whose flat composition would not fit
+/// in memory).  Semantics match compose() + simulate().
+class Module;  // fwd
+SimTrace simulate_modules(const std::vector<const Module*>& modules,
+                          const SimOptions& options = {});
+
+}  // namespace rtv

@@ -1,0 +1,23 @@
+// Waveform rendering of simulation traces: ASCII (the Fig. 7 reproduction)
+// and VCD for external viewers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rtv/sim/simulator.hpp"
+
+namespace rtv {
+
+/// ASCII waveform of the selected signals, one row per signal, sampled on
+/// every event of the trace.  `columns` caps the width (events beyond it
+/// are dropped).
+std::string ascii_waveform(const TransitionSystem& ts, const SimTrace& trace,
+                           const std::vector<std::string>& signals,
+                           std::size_t columns = 120);
+
+/// IEEE 1364 VCD dump of the selected signals (all signals if empty).
+std::string to_vcd(const TransitionSystem& ts, const SimTrace& trace,
+                   const std::vector<std::string>& signals = {});
+
+}  // namespace rtv

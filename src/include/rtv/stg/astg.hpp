@@ -1,0 +1,39 @@
+// Reader/writer for the textual STG interchange format (.g / "astg") used
+// by the asynchronous-circuit tool tradition (SIS, petrify, transyt):
+//
+//   .model name
+//   .inputs  a b
+//   .outputs c
+//   .graph
+//   a+ c+            # arcs from transition to transition (implicit place)
+//   p0 a+            # or via explicit places declared by use
+//   c+/2 b-          # indexed occurrences of the same signal transition
+//   .marking { p0 <a+,c+> }
+//   .end
+//
+// Supported subset: signal transitions with occurrence indices, dummy
+// transitions (.dummy), explicit and implicit places, the initial marking
+// (including implicit-place <t1,t2> syntax), and a non-standard but
+// backwards-compatible delay annotation:
+//
+//   .delay a+ 1 2      # [1, 2] time units
+//   .delay b- 5 inf    # [5, inf)
+//   .initial c d       # signals whose initial value is high
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "rtv/stg/stg.hpp"
+
+namespace rtv {
+
+/// Parse an STG from .g text.  Throws std::runtime_error with a line
+/// number on malformed input.
+Stg parse_astg(std::istream& in);
+Stg parse_astg_string(const std::string& text);
+
+/// Serialise; parse_astg(write_astg(s)) is structurally equivalent to s.
+std::string write_astg(const Stg& stg);
+
+}  // namespace rtv

@@ -1,0 +1,22 @@
+// Marking-graph elaboration: STG -> Module (transition system with signal
+// valuations per state).
+#pragma once
+
+#include "rtv/stg/stg.hpp"
+#include "rtv/ts/module.hpp"
+
+namespace rtv {
+
+struct StgElaborateOptions {
+  std::size_t max_markings = 1'000'000;
+  /// Reject non-1-safe behaviour (a transition firing into a marked place).
+  bool require_one_safe = true;
+};
+
+/// Explore the reachable markings of the STG.  Throws std::runtime_error on
+/// safety violations or budget exhaustion.  The module's alphabet carries
+/// the transitions' labels, delays and kinds; states carry the signal
+/// valuation (and the marking as the state name).
+Module elaborate(const Stg& stg, const StgElaborateOptions& options = {});
+
+}  // namespace rtv

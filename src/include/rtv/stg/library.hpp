@@ -1,0 +1,54 @@
+// The paper's environment and abstraction models.
+//
+//  * IN (Fig. 12 left): pulse-driven data producer — lowers VALID, raises
+//    it again after the pulse width, and issues no new data until the stage
+//    acknowledged (ACK+); both resets are independent.
+//  * OUT (Fig. 12 right): pulse-driven consumer — acknowledges a low VALID
+//    with a positive ACK pulse of a guaranteed minimum width.
+//  * A_in (Fig. 10a): untimed abstraction of IN || I_1 || ... || I_{n-1}:
+//    lowers VALID, raises it only after ACK+; handshake completes with the
+//    independent reset of ACK.
+//  * A_out (Fig. 10b): untimed abstraction of I || OUT: acknowledges a low
+//    VALID with an ACK pulse; accepts VALID+ only after ACK+.
+//
+// All builders are parameterised on the boundary's signal names so several
+// instances can be composed along a pipeline.
+#pragma once
+
+#include "rtv/stg/elaborate.hpp"
+#include "rtv/stg/stg.hpp"
+#include "rtv/ts/module.hpp"
+
+namespace rtv::stg_library {
+
+/// Delay parameters of the pulse-driven environment (defaults follow the
+/// annotations visible in Fig. 13; units are the paper's delay units).
+struct EnvTiming {
+  DelayInterval valid_fall = DelayInterval::at_least_units(14);  ///< VALID- issue
+  /// Width of the negative VALID pulse ("15 + eps" in Fig. 13; the upper
+  /// bound is the pulse-length restriction IPCMOS imposes on its
+  /// environment).
+  DelayInterval valid_rise =
+      DelayInterval(15 * kTicksPerUnit + kTimeEpsilon, 16 * kTicksPerUnit);
+  DelayInterval ack_rise = DelayInterval::units(8, 11);  ///< OUT's ACK+ response
+  /// Minimum positive ACK pulse width (the paper's explicit restriction on
+  /// OUT to avoid early resetting of ACK).
+  DelayInterval ack_fall = DelayInterval::units(5, 10);
+};
+
+Stg make_in(const std::string& valid, const std::string& ack,
+            const EnvTiming& timing = {});
+Stg make_out(const std::string& valid, const std::string& ack,
+             const EnvTiming& timing = {});
+Stg make_ain(const std::string& valid, const std::string& ack);
+Stg make_aout(const std::string& valid, const std::string& ack);
+
+/// Elaborated conveniences.
+Module in_module(const std::string& valid, const std::string& ack,
+                 const EnvTiming& timing = {});
+Module out_module(const std::string& valid, const std::string& ack,
+                  const EnvTiming& timing = {});
+Module ain_module(const std::string& valid, const std::string& ack);
+Module aout_module(const std::string& valid, const std::string& ack);
+
+}  // namespace rtv::stg_library

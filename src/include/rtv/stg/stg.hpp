@@ -1,0 +1,77 @@
+// Signal Transition Graphs: 1-safe Petri nets whose transitions are
+// interpreted as rising/falling edges of boolean signals.
+//
+// STGs are the modelling front-end for environments (IN, OUT of Fig. 12)
+// and abstractions (A_in, A_out of Fig. 10).  They are elaborated into
+// transition systems (marking graphs) before composition; signal values are
+// tracked per marking so invariant properties can observe them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtv/base/ids.hpp"
+#include "rtv/base/interval.hpp"
+#include "rtv/ts/event.hpp"
+
+namespace rtv {
+
+struct StgTransition {
+  std::string signal;   ///< empty for a dummy (lambda) transition
+  bool rising = true;
+  std::string dummy_name;  ///< label used when signal is empty
+  DelayInterval delay = DelayInterval::unbounded();
+  EventKind kind = EventKind::kOutput;
+  std::vector<PlaceId> preset;
+  std::vector<PlaceId> postset;
+
+  std::string label() const {
+    return signal.empty() ? dummy_name : transition_label(signal, rising);
+  }
+};
+
+class Stg {
+ public:
+  explicit Stg(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  PlaceId add_place(std::string name = {}, bool initially_marked = false);
+  void mark(PlaceId p, bool marked = true);
+
+  /// Adds a signal transition; connect with connect()/arc helpers.
+  std::size_t add_transition(const std::string& signal, bool rising,
+                             DelayInterval delay = DelayInterval::unbounded(),
+                             EventKind kind = EventKind::kOutput);
+  std::size_t add_dummy(const std::string& name,
+                        DelayInterval delay = DelayInterval::unbounded());
+
+  void arc(PlaceId from, std::size_t to_transition);
+  void arc(std::size_t from_transition, PlaceId to);
+  /// Implicit place between two transitions (t1 -> p -> t2).
+  PlaceId chain(std::size_t t1, std::size_t t2, bool initially_marked = false);
+
+  /// Initial value of a signal (default low).
+  void set_initial_value(const std::string& signal, bool value);
+
+  std::size_t num_places() const { return places_.size(); }
+  std::size_t num_transitions() const { return transitions_.size(); }
+  const StgTransition& transition(std::size_t t) const { return transitions_[t]; }
+  StgTransition& transition(std::size_t t) { return transitions_[t]; }
+  bool initially_marked(PlaceId p) const { return marked_[p.value()]; }
+  const std::string& place_name(PlaceId p) const { return places_[p.value()]; }
+
+  /// All distinct signal names, sorted.
+  std::vector<std::string> signals() const;
+  bool initial_value(const std::string& signal) const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> places_;
+  std::vector<bool> marked_;
+  std::vector<StgTransition> transitions_;
+  std::vector<std::pair<std::string, bool>> initial_values_;
+};
+
+}  // namespace rtv

@@ -1,0 +1,60 @@
+// Causal event structures (CES).
+//
+// A CES is an acyclic graph capturing the causality between the event
+// occurrences of a trace: occurrence i precedes occurrence j iff j only
+// became enabled after i fired (the paper: e_i < e_j iff i < j and no
+// enabling set contains both).  Pending occurrences — enabled at the end of
+// the trace but never fired, like Z+ in Fig. 13(a) — are first-class: the
+// key timing constraints of the paper relate a fired event to a pending one.
+//
+// Timing semantics (max causality): t(v) = max over direct predecessors of
+// t(p), plus a delay within v's interval; sources anchor at time 0.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rtv/base/interval.hpp"
+#include "rtv/ts/trace.hpp"
+
+namespace rtv {
+
+struct CesEvent {
+  std::string label;
+  EventId event = EventId::invalid();  ///< event in the underlying system
+  DelayInterval delay;
+  int trace_point = -1;  ///< firing position in the source trace; -1 if pending
+  bool pending = false;  ///< enabled at the end of the trace, never fired
+  std::vector<int> preds;  ///< direct causal predecessors (indices)
+};
+
+struct Ces {
+  std::vector<CesEvent> events;  ///< topologically ordered
+
+  std::size_t size() const { return events.size(); }
+
+  /// Indices of all (transitive) ancestors of v, including v.
+  std::vector<int> cone(int v) const;
+
+  /// Index of the first occurrence with this label, or -1.
+  int find_label(const std::string& label) const;
+
+  std::string to_string() const;
+};
+
+/// Extract the CES of a trace.  When `include_pending` is set, events
+/// enabled in the final state that never fired are added as pending
+/// occurrences.
+Ces extract_ces(const TransitionSystem& ts, const Trace& trace,
+                bool include_pending = true);
+
+/// Conservative earliest/latest firing-time bounds per event via interval
+/// propagation: Emin(v) = max_p Emin(p) + lo(v), Emax(v) = max_p Emax(p)
+/// + hi(v).  Sound outer bounds on every max-causality timing.
+struct CesBounds {
+  std::vector<Time> earliest;
+  std::vector<Time> latest;  ///< kTimeInfinity when unbounded
+};
+CesBounds propagate_bounds(const Ces& ces);
+
+}  // namespace rtv

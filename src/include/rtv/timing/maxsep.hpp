@@ -1,0 +1,37 @@
+// Maximal time separation between two events of a CES.
+//
+// Computes  max over all timing-consistent executions of  t(a) - t(b)
+// under max-causality semantics with interval delays (the McMillan-Dill
+// interface-timing question [10]).  If the result is < 0 then a fires
+// strictly before b in *every* execution — the basis for deriving relative
+// timing constraints.
+//
+// Exact method: the max over predecessors is resolved by enumerating, for
+// every event in the relevant cone with several predecessors, which one
+// arrives last ("choice function").  Each choice yields a difference-
+// constraint polytope over firing times on which the separation is a
+// shortest-path query.  The trace-sized CESs of this library keep the
+// enumeration tiny; a conservative interval-propagation bound is used when
+// the enumeration would exceed `max_combinations`.
+#pragma once
+
+#include <cstddef>
+
+#include "rtv/timing/ces.hpp"
+
+namespace rtv {
+
+struct MaxSepResult {
+  Time separation = kTimeInfinity;  ///< max(t[a] - t[b]); kTimeInfinity if unbounded
+  bool exact = true;                ///< false if the conservative bound was used
+  std::size_t combinations = 0;     ///< choice functions explored
+};
+
+MaxSepResult max_separation(const Ces& ces, int a, int b,
+                            std::size_t max_combinations = 200000);
+
+/// True iff a provably fires strictly before b in every execution of the
+/// CES (max(t[a]-t[b]) < 0).
+bool always_strictly_before(const Ces& ces, int a, int b);
+
+}  // namespace rtv

@@ -1,0 +1,30 @@
+// Global ordering derivation on causal event structures.
+//
+// Given a CES annotated with delay intervals, derive every pair (a, b) such
+// that a provably fires before b in all max-causality timings — the "dotted
+// arc" relative timing constraints the paper back-annotates (Fig. 13).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rtv/timing/ces.hpp"
+#include "rtv/timing/trace_timing.hpp"
+
+namespace rtv {
+
+struct CesOrdering {
+  int before = -1;  ///< CES event index
+  int after = -1;
+  Time slack = 0;   ///< -max(t[before]-t[after]): margin by which the ordering holds
+};
+
+/// All provable orderings between pairs not already causally related.
+/// Quadratic in CES size with a max-separation query per pair.
+std::vector<CesOrdering> derive_ces_orderings(const Ces& ces);
+
+/// Render as "a before b (slack s)" lines.
+std::string format_ces_orderings(const Ces& ces,
+                                 const std::vector<CesOrdering>& orderings);
+
+}  // namespace rtv

@@ -1,0 +1,121 @@
+// Exact timing analysis of a failure trace.
+//
+// A trace fixes a total firing order and, at every step, the set of
+// still-pending enabled events.  Timing consistency is then a system of
+// difference constraints over firing times:
+//
+//   * monotonicity of firing times,
+//   * for each fired occurrence: its delay bounds anchored at its enabling
+//     point,
+//   * for each pending occurrence at a firing step: the firing cannot
+//     happen later than the pending event's deadline (enabling + upper
+//     bound) — the inertial-delay urgency that makes traces like
+//     Fig. 13(a) infeasible.
+//
+// When a trace is infeasible, the negative cycle of the system localises a
+// *ban window* [anchor..last]: a contiguous slice of the trace that is
+// timing-impossible on its own.  Two validity flavours exist:
+//
+//   * from_start: the window starts at the initial point of the run; lower
+//     bounds of initially-enabled events hold exactly (time 0 anchoring);
+//   * anchored: the window may be entered at *any* visit of the anchor
+//     state; boundary-crossing enabling is clamped conservatively (lower
+//     bounds dropped, deadlines anchored at the window entry, which can
+//     only weaken the system), so infeasibility of the clamped system
+//     proves the pattern impossible regardless of history.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rtv/timing/difference_constraints.hpp"
+#include "rtv/ts/trace.hpp"
+
+namespace rtv {
+
+/// Provenance of one difference constraint of a trace system.
+struct TraceConstraintInfo {
+  enum class Kind { kMonotonic, kFiringLower, kFiringUpper, kPendingDeadline };
+  Kind kind = Kind::kMonotonic;
+  int point = 0;       ///< firing point the constraint talks about
+  int anchor = 0;      ///< enabling point it is anchored at
+  EventId event = EventId::invalid();  ///< event involved (fired or pending)
+};
+
+struct BuiltTraceSystem {
+  DiffSystem system;
+  std::vector<TraceConstraintInfo> info;  ///< indexed by constraint tag
+  BuiltTraceSystem() : system(0) {}
+};
+
+/// A window of the trace proven timing-impossible.
+struct BanWindow {
+  bool from_start = false;  ///< anchored at the run's start vs at a state visit
+  int anchor_point = 0;     ///< first point of the window
+  int last_point = 0;       ///< point whose firing is blocked
+};
+
+/// Back-annotated ordering: `before` must fire before `after` (a relative
+/// timing constraint in the sense of [16]).
+struct DerivedOrdering {
+  std::string before;
+  std::string after;
+
+  friend bool operator==(const DerivedOrdering& a, const DerivedOrdering& b) {
+    return a.before == b.before && a.after == b.after;
+  }
+  friend bool operator<(const DerivedOrdering& a, const DerivedOrdering& b) {
+    return a.before != b.before ? a.before < b.before : a.after < b.after;
+  }
+};
+
+class TraceTimingModel {
+ public:
+  /// `virtual_final`: an event treated as fired from the trace's final
+  /// state as an extra last point (used for refused/choked events that have
+  /// no transition in the composed graph).
+  TraceTimingModel(const TransitionSystem& ts, const Trace& trace,
+                   EventId virtual_final = EventId::invalid());
+
+  int num_points() const { return n_points_; }
+  EventId fired(int point) const;
+  StateId state_at(int point) const;
+  const std::vector<EventId>& enabled_at(int point) const;
+
+  /// Enabling point of the occurrence of `event` pending/firing at `point`.
+  int enabling_point(EventId event, int point) const;
+
+  /// True iff every arrival into `state` freshly enables `event`: no
+  /// predecessor state has it enabled (except via the event's own firing).
+  /// Fresh events may keep exact bounds at a window boundary, since any
+  /// run entering the anchor state enables them exactly on arrival.
+  bool freshly_enabled_at(StateId state, EventId event) const;
+
+  /// Build the system for points [win_start..win_last].  When `clamped`,
+  /// enabling crossing the window start is weakened so the system is valid
+  /// for any entry into the window's anchor state.
+  BuiltTraceSystem build_system(int win_start, int win_last, bool clamped) const;
+
+  /// Exact feasibility of the whole trace (run-start anchoring).
+  bool consistent() const;
+
+  /// Localise a ban window; nullopt if the trace is consistent.
+  std::optional<BanWindow> find_ban_window() const;
+
+  /// Human-meaningful orderings explaining why the window is infeasible:
+  /// pending or earlier-fired events whose deadline constraints are
+  /// responsible for banning the window's last firing.
+  std::vector<DerivedOrdering> explain(const BanWindow& win) const;
+
+ private:
+  const TransitionSystem& ts_;
+  const Trace& trace_;
+  EventId virtual_final_;
+  int n_points_;
+  /// Reverse adjacency (built lazily): predecessor (state, event) pairs.
+  mutable std::vector<std::vector<std::pair<StateId, EventId>>> preds_;
+  mutable bool preds_built_ = false;
+};
+
+}  // namespace rtv

@@ -1,0 +1,54 @@
+// Parallel composition of modules.
+//
+// Modules synchronise CSP-style on shared event labels: a label fires in the
+// composition iff every module having that label in its alphabet can fire
+// it.  The composed event's delay interval is the intersection of the
+// participants' intervals (monitors contribute [0, inf), i.e. nothing).
+//
+// For refinement ("diamond") checks the composition can additionally track
+// "chokes": composed states where a module is ready to *produce* an output
+// but another participant that listens to it cannot accept it.  A choke is
+// exactly a language-containment violation of the producer against the
+// listener.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rtv/ts/module.hpp"
+
+namespace rtv {
+
+struct ChokeRecord {
+  StateId state;        ///< composed state where the choke occurs
+  EventId event;        ///< composed event that is refused
+  std::size_t producer; ///< index of the module producing the event
+  std::size_t blocker;  ///< index of the module refusing it
+};
+
+struct ComposeOptions {
+  bool track_chokes = false;
+  /// Abort exploration beyond this many composed states.
+  std::size_t max_states = 2'000'000;
+};
+
+struct Composition {
+  TransitionSystem ts;
+  std::vector<std::string> module_names;
+  /// Per composed state: the tuple of component states.
+  std::vector<std::vector<StateId>> component_states;
+  std::vector<ChokeRecord> chokes;
+  bool truncated = false;
+
+  /// Component-state tuple rendering for diagnostics.
+  std::string describe_state(StateId s) const;
+};
+
+/// Compose modules over their shared alphabets.  The result's initial state
+/// is the tuple of component initial states; only reachable product states
+/// are materialised.
+Composition compose(const std::vector<const Module*>& modules,
+                    const ComposeOptions& options = {});
+
+}  // namespace rtv

@@ -1,0 +1,35 @@
+// Graphviz (DOT) export of transition systems and causal event structures,
+// for documentation and debugging (the diagrams of Figs. 1-2 are DOT-able
+// views of these structures).
+#pragma once
+
+#include <string>
+
+#include "rtv/circuit/netlist.hpp"
+#include "rtv/timing/ces.hpp"
+#include "rtv/ts/transition_system.hpp"
+
+namespace rtv {
+
+struct DotOptions {
+  bool show_state_names = true;
+  /// Limit on emitted states (BFS order); 0 = no limit.
+  std::size_t max_states = 0;
+  /// Highlight these states (filled).
+  std::vector<StateId> highlight;
+};
+
+/// DOT digraph of the reachable part of a transition system.
+std::string to_dot(const TransitionSystem& ts, const DotOptions& options = {});
+
+/// DOT digraph of a CES: solid arcs = causality, dashed = pending events'
+/// membership; node labels carry the delay intervals (as in Fig. 2(c,d)).
+std::string to_dot(const Ces& ces);
+
+/// DOT digraph of a transistor netlist (the Fig. 11 structural view):
+/// boxes = nodes (inputs dashed, boundary outputs bold), one edge per
+/// transistor stack from each gate signal to the driven node, labelled
+/// with the stack type and delay; weak stacks dotted.
+std::string to_dot(const Netlist& netlist);
+
+}  // namespace rtv

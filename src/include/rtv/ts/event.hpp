@@ -1,0 +1,38 @@
+// Events of (timed) transition systems.
+//
+// An event models a signal transition (e.g. "ACK+") or an abstract action
+// (e.g. "a").  Each event carries a delay interval: the time that may elapse
+// between the event becoming enabled and it firing (inertial delay model).
+#pragma once
+
+#include <string>
+
+#include "rtv/base/ids.hpp"
+#include "rtv/base/interval.hpp"
+
+namespace rtv {
+
+/// Direction of an event relative to the module that declares it.
+enum class EventKind {
+  kInput,    ///< produced by the environment, module must be receptive
+  kOutput,   ///< produced by this module
+  kInternal  ///< not observable outside the module
+};
+
+const char* to_string(EventKind kind);
+
+struct Event {
+  std::string label;                          ///< global synchronisation label
+  DelayInterval delay = DelayInterval::unbounded();
+  EventKind kind = EventKind::kInternal;
+};
+
+/// Builds the conventional label of a signal transition, e.g. "ACK+"/"ACK-".
+std::string transition_label(const std::string& signal, bool rising);
+
+/// Splits "ACK+" into ("ACK", true).  Returns false if the label does not
+/// end in '+' or '-'.
+bool parse_transition_label(const std::string& label, std::string* signal,
+                            bool* rising);
+
+}  // namespace rtv

@@ -1,0 +1,34 @@
+// Small hand-built timed transition systems used throughout tests, examples
+// and benches — most importantly the paper's introductory example
+// (Figures 1 and 2): a system where event `g` precedes event `d` in every
+// *timed* run although the untimed state space admits `d` first.
+#pragma once
+
+#include "rtv/ts/module.hpp"
+
+namespace rtv::gallery {
+
+/// The introductory example, spirit of Fig. 1:
+///
+///   a [2.5,3] and b [1,2] are concurrent from the initial state;
+///   c [1,2] is triggered by a; g [0.5,0.5] is triggered by b;
+///   d [0,inf) is triggered by c.
+///
+/// Untimed, `d` may fire before `g`; with delays, g's latest firing
+/// (2 + 0.5) precedes d's earliest (2.5 + 1), so "g before d" holds.
+Module intro_example();
+
+/// Monitor for "g always fires before d": exposes a `fail` signal that goes
+/// high iff d fires while g has not fired yet.  Compose with the system and
+/// check the invariant !fail.
+Module order_monitor(const std::string& first, const std::string& then,
+                     const std::string& fail_signal = "fail");
+
+/// A linear chain s0 -e1-> s1 -e2-> ... useful in unit tests.
+Module chain(const std::vector<std::pair<std::string, DelayInterval>>& events);
+
+/// Two concurrent events x [x_delay] and y [y_delay] in a diamond.
+Module diamond(const std::string& x, DelayInterval x_delay,
+               const std::string& y, DelayInterval y_delay);
+
+}  // namespace rtv::gallery

@@ -1,0 +1,35 @@
+// Bisimulation minimization of transition systems.
+//
+// Partition refinement over (label, successor-block) signatures — strong
+// bisimulation, which preserves every property this library checks
+// (enabledness, traces, refusals, signal valuations when compatible).
+// Useful for shrinking abstraction monitors before composition and for
+// comparing elaborations structurally.
+#pragma once
+
+#include "rtv/ts/module.hpp"
+
+namespace rtv {
+
+struct MinimizeResult {
+  TransitionSystem ts;
+  /// block index per original state (the quotient map).
+  std::vector<std::size_t> block_of;
+  std::size_t num_blocks = 0;
+};
+
+struct MinimizeOptions {
+  /// When set, states with different signal valuations are never merged
+  /// (needed if invariant properties will read the quotient's states).
+  bool respect_valuations = true;
+};
+
+/// Quotient of the reachable part of `ts` under the coarsest strong
+/// bisimulation.  Deterministic systems: this is language-minimal.
+MinimizeResult minimize(const TransitionSystem& ts,
+                        const MinimizeOptions& options = {});
+
+/// Convenience: minimized module (same name + "*", same event kinds).
+Module minimized(const Module& m, const MinimizeOptions& options = {});
+
+}  // namespace rtv

@@ -1,0 +1,45 @@
+// Traces with enabling information.
+//
+// A trace sigma = E1 --e1--> E2 --e2--> ... records, for every fired event,
+// the set of events enabled just before the firing (the paper's "trace with
+// enabling information").  Enabling sets are what causality extraction and
+// timing analysis operate on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rtv/ts/transition_system.hpp"
+
+namespace rtv {
+
+struct TraceStep {
+  StateId state;                 ///< state the step fires from
+  EventId event;                 ///< fired event
+  std::vector<EventId> enabled;  ///< events enabled in `state`
+};
+
+struct Trace {
+  std::vector<TraceStep> steps;
+  StateId final_state = StateId::invalid();
+  std::vector<EventId> final_enabled;  ///< events enabled in the final state
+
+  std::size_t length() const { return steps.size(); }
+  bool empty() const { return steps.empty(); }
+
+  /// Labels of fired events, in order.
+  std::vector<std::string> labels(const TransitionSystem& ts) const;
+
+  /// "E{a,b} --a--> E{b,c} --c--> ..." rendering.
+  std::string to_string(const TransitionSystem& ts) const;
+};
+
+/// Shortest path (BFS) from the initial state to `target`; the returned
+/// trace carries enabling sets.  Empty optional if unreachable.
+std::optional<Trace> shortest_trace_to(const TransitionSystem& ts, StateId target);
+
+/// Shortest trace whose last step fires `event` from `from_state`.
+std::optional<Trace> shortest_trace_firing(const TransitionSystem& ts,
+                                           StateId from_state, EventId event);
+
+}  // namespace rtv

@@ -1,0 +1,22 @@
+// Language-containment ("diamond") checks for assume-guarantee reasoning.
+//
+// check_containment(system, abstraction) verifies that every output the
+// system produces on the abstraction's alphabet can also be produced by the
+// abstraction under the same stimuli (the paper's Section 2.2): the
+// abstraction runs as a passive monitor and any refusal is a failure that
+// the relative-timing flow then tries to prove timing-impossible.
+#pragma once
+
+#include "rtv/verify/refinement.hpp"
+
+namespace rtv {
+
+/// Verify  (|| system)  <=  abstraction  restricted to the abstraction's
+/// alphabet.  Extra properties (e.g. deadlock-freedom of the closed system)
+/// can be checked in the same run.
+VerificationResult check_containment(
+    const std::vector<const Module*>& system, const Module& abstraction,
+    const std::vector<const SafetyProperty*>& extra_properties = {},
+    const VerifyOptions& options = {});
+
+}  // namespace rtv

@@ -1,0 +1,41 @@
+// Breadth-first failure search over a refined system.
+//
+// Finds the shallowest violation of any property — a bad state, a bad
+// firing (persistency), or a choke (an output refused by a monitor during a
+// containment check).  The returned trace carries base states and raw
+// enabled sets, ready for timing analysis.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+
+#include "rtv/lazy/refined_system.hpp"
+#include "rtv/ts/compose.hpp"
+#include "rtv/ts/trace.hpp"
+#include "rtv/verify/property.hpp"
+
+namespace rtv {
+
+struct Failure {
+  Trace trace;
+  /// Set when the failing firing has no transition in the composed graph
+  /// (a choke); the event is then appended as a virtual final point.
+  EventId virtual_event = EventId::invalid();
+  std::string description;
+};
+
+struct FailureSearchStats {
+  std::size_t states_explored = 0;
+  bool truncated = false;
+};
+
+/// BFS over `sys`; `chokes` (may be empty) come from the composition.
+/// Property and choke checks skip firings blocked by the refinement
+/// observers — blocked firings are timing-impossible.
+std::optional<Failure> find_failure(
+    const RefinedSystem& sys, std::span<const ChokeRecord> chokes,
+    std::span<const SafetyProperty* const> properties, std::size_t max_states,
+    FailureSearchStats* stats);
+
+}  // namespace rtv

@@ -1,0 +1,77 @@
+// The relative-timing verification flow (the paper's Fig. 3, as implemented
+// by the transyt tool of [13]):
+//
+//   compose -> search failure -> timing-consistent? -> counterexample
+//                     ^                |no
+//                     |   extract window / derive constraints
+//                     +---- refine (enabling-compatible product) ----+
+//
+// Iterates until no failure remains (verified, with back-annotated relative
+// timing constraints), a timing-consistent failure is found (a true
+// counterexample), or the iteration budget is exhausted (inconclusive).
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rtv/timing/trace_timing.hpp"
+#include "rtv/ts/compose.hpp"
+#include "rtv/ts/module.hpp"
+#include "rtv/verify/property.hpp"
+
+namespace rtv {
+
+enum class Verdict { kVerified, kCounterexample, kInconclusive };
+
+const char* to_string(Verdict v);
+
+struct VerifyOptions {
+  std::size_t max_refinements = 500;
+  std::size_t max_states = 2'000'000;
+  bool track_chokes = true;
+  /// Apply the structural relative-timing rule (see RefinedSystem) from the
+  /// first iteration.  Off reproduces the pure trace-by-trace flow.
+  bool structural_rule = true;
+  /// Wave cap of the refined states' timing annotation (see
+  /// RefinedSystem::set_max_waves); smaller = coarser but cheaper.
+  std::size_t max_waves = 6;
+};
+
+/// One refinement iteration: the failure that was found and the relative
+/// timing information that removed it.
+struct RefinementRecord {
+  int iteration = 0;
+  std::string failure;                       ///< description of the violation
+  std::vector<std::string> window_labels;    ///< banned window (event labels)
+  bool from_start = false;
+  bool used_window = false;                  ///< window ban vs ordering pairs
+  std::string anchor;                        ///< anchor description
+  std::vector<DerivedOrdering> orderings;    ///< back-annotated constraints
+};
+
+struct VerificationResult {
+  Verdict verdict = Verdict::kInconclusive;
+  int refinements = 0;
+  std::optional<Trace> counterexample;
+  std::string counterexample_text;
+  std::string message;
+  std::vector<RefinementRecord> records;
+  std::size_t composed_states = 0;
+  std::size_t final_states_explored = 0;
+  double seconds = 0.0;
+
+  bool verified() const { return verdict == Verdict::kVerified; }
+
+  /// Union of all back-annotated orderings, deduplicated.
+  std::vector<DerivedOrdering> constraints() const;
+};
+
+/// Run the full flow on the composition of `modules` against `properties`.
+VerificationResult verify_modules(const std::vector<const Module*>& modules,
+                                  const std::vector<const SafetyProperty*>& properties,
+                                  const VerifyOptions& options = {});
+
+}  // namespace rtv

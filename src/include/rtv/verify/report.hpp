@@ -1,0 +1,34 @@
+// Human-readable reporting of verification results: per-iteration
+// refinement logs, back-annotated relative timing constraints (the paper's
+// Fig. 13 deliverable) and experiment summary tables (Table 1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rtv/verify/refinement.hpp"
+
+namespace rtv {
+
+/// Full textual report of one verification run.
+std::string format_report(const std::string& title,
+                          const VerificationResult& result);
+
+/// Only the deduplicated relative timing constraints.
+std::string format_constraints(const VerificationResult& result);
+
+/// A Table-1-style summary row: name, verdict, CPU time, refinements.
+struct ExperimentRow {
+  std::string name;
+  Verdict verdict = Verdict::kInconclusive;
+  double seconds = 0.0;
+  int refinements = 0;
+  std::size_t states = 0;
+};
+
+ExperimentRow summarize(const std::string& name, const VerificationResult& r);
+
+/// Render rows as an aligned text table.
+std::string format_table(const std::vector<ExperimentRow>& rows);
+
+}  // namespace rtv

@@ -1,0 +1,35 @@
+// Timed witnesses: a concrete firing-time assignment for a
+// timing-consistent failure trace.
+//
+// When the flow reports a counterexample the trace's difference-constraint
+// system is feasible; the Bellman-Ford solution is a valid schedule.  This
+// turns "the failure is timing-consistent" into an executable scenario
+// ("at t = 14.25 V1- fires, ...") that a designer can replay in the
+// simulator or against a SPICE deck.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rtv/ts/trace.hpp"
+
+namespace rtv {
+
+struct TimedStep {
+  Time time = 0;
+  std::string label;
+};
+
+struct TimedWitness {
+  std::vector<TimedStep> steps;
+  std::string to_string() const;
+};
+
+/// Concrete schedule for a timing-consistent trace; nullopt if the trace is
+/// inconsistent (then there is nothing to witness).
+std::optional<TimedWitness> make_witness(const TransitionSystem& ts,
+                                         const Trace& trace,
+                                         EventId virtual_final = EventId::invalid());
+
+}  // namespace rtv

@@ -1,0 +1,72 @@
+// Difference Bound Matrices over event clocks.
+//
+// The zone engine is the library's exact-baseline: it explores the timed
+// state space of a TTS directly (one clock per enabled event) and serves to
+// cross-validate the relative-timing engine's verdicts and to quantify the
+// cost the paper's method avoids.
+//
+// Representation: clock 0 is the constant zero; entry (i, j) bounds
+// x_i - x_j <= d[i][j] (non-strict; the library's intervals are closed).
+// kTimeInfinity encodes "unbounded".
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rtv/base/interval.hpp"
+
+namespace rtv {
+
+class Dbm {
+ public:
+  /// Zone over `clocks` clocks (plus the implicit zero clock), initialised
+  /// to the unconstrained zone x_i >= 0.
+  explicit Dbm(std::size_t clocks);
+
+  /// The point zone: all clocks equal 0.
+  static Dbm zero(std::size_t clocks);
+
+  std::size_t clocks() const { return n_ - 1; }
+
+  Time at(std::size_t i, std::size_t j) const { return m_[i * n_ + j]; }
+  void set(std::size_t i, std::size_t j, Time v) { m_[i * n_ + j] = v; }
+
+  /// Tighten with x_i - x_j <= w (indices include the zero clock 0).
+  void constrain(std::size_t i, std::size_t j, Time w);
+
+  /// Shortest-path closure.  Returns false (and marks empty) on negative
+  /// cycle.
+  bool canonicalize();
+
+  bool empty() const { return empty_; }
+
+  /// Delay: remove all upper bounds on clocks (future closure).
+  void up();
+
+  /// Project to a subset of clocks and append fresh clocks equal to 0.
+  /// `keep` holds indices (1-based clock indices) into this zone, in the
+  /// order they appear in the result.
+  Dbm restrict_and_extend(const std::vector<std::size_t>& keep,
+                          std::size_t fresh) const;
+
+  /// General clock remapping: the result has source.size() clocks; new
+  /// clock k+1 copies old clock source[k] (1-based), or is a fresh clock
+  /// equal to 0 when source[k] == 0.
+  Dbm remap(const std::vector<std::size_t>& source) const;
+
+  /// Zone inclusion (both canonical).
+  bool subset_of(const Dbm& other) const;
+
+  /// Classic k-extrapolation with per-clock max constants (index 0 unused).
+  void extrapolate(const std::vector<Time>& max_const);
+
+  std::string to_string() const;
+
+ private:
+  std::size_t n_;  // matrix dimension = clocks + 1
+  bool empty_ = false;
+  std::vector<Time> m_;
+};
+
+}  // namespace rtv

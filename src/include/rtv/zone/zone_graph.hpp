@@ -1,0 +1,52 @@
+// Exact timed reachability of a composed TTS via zone-graph exploration.
+//
+// Semantics (timed transition systems with inertial delays, [7]): every
+// enabled event owns a clock measuring how long it has been enabled; an
+// event may fire when its clock is within [lo, hi] and time cannot pass
+// beyond any enabled event's upper bound (maximal progress).  Events that
+// stay enabled across a firing keep their clocks; newly enabled events (and
+// re-enabled ones) restart at 0.
+//
+// This is the library's ground-truth engine: exponential in clocks, used to
+// cross-validate the relative-timing flow and to measure the cost it
+// avoids.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rtv/ts/compose.hpp"
+#include "rtv/verify/property.hpp"
+#include "rtv/zone/dbm.hpp"
+
+namespace rtv {
+
+struct ZoneVerifyOptions {
+  std::size_t max_zones = 2'000'000;
+  bool track_chokes = true;
+};
+
+struct ZoneVerifyResult {
+  bool violated = false;
+  bool truncated = false;
+  std::string description;                 ///< first violation found
+  std::vector<std::string> trace_labels;   ///< events leading to it
+  std::size_t zones_explored = 0;
+  std::size_t discrete_states = 0;         ///< distinct TTS states reached in time
+  double seconds = 0.0;
+};
+
+/// Explore the timed state space of the composition of `modules`, checking
+/// `properties` plus containment chokes.
+ZoneVerifyResult zone_verify(const std::vector<const Module*>& modules,
+                             const std::vector<const SafetyProperty*>& properties,
+                             const ZoneVerifyOptions& options = {});
+
+/// Timed reachability over an already-built transition system.
+ZoneVerifyResult zone_explore(const TransitionSystem& ts,
+                              const std::vector<const SafetyProperty*>& properties,
+                              std::span<const ChokeRecord> chokes,
+                              const ZoneVerifyOptions& options = {});
+
+}  // namespace rtv

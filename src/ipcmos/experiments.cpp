@@ -1,0 +1,108 @@
+#include "rtv/ipcmos/experiments.hpp"
+
+#include "rtv/circuit/invariants.hpp"
+#include "rtv/verify/containment.hpp"
+
+namespace rtv::ipcmos {
+
+namespace {
+
+/// Owning property bundle.
+struct PropertySet {
+  std::vector<std::unique_ptr<SafetyProperty>> owned;
+  std::vector<const SafetyProperty*> ptrs;
+
+  void add(std::unique_ptr<SafetyProperty> p) {
+    owned.push_back(std::move(p));
+    ptrs.push_back(owned.back().get());
+  }
+};
+
+/// Deadlock-freedom, persistency and the short-circuit invariants of a
+/// transistor-level stage (Section 5.1).
+PropertySet stage_properties(int stage_index, const PipelineTiming& t) {
+  PropertySet ps;
+  ps.add(std::make_unique<DeadlockFreedom>());
+  ps.add(std::make_unique<PersistencyProperty>());
+  const Netlist nl =
+      make_stage_netlist("I" + std::to_string(stage_index),
+                         linear_channels(stage_index), t.stage);
+  for (auto& p : short_circuit_properties(nl)) ps.add(std::move(p));
+  return ps;
+}
+
+}  // namespace
+
+VerificationResult experiment1(const ExperimentConfig& cfg) {
+  // A_in || A_out |= S: the abstractions at boundary 1, checked for
+  // deadlock-freedom; protocol conformance is structural (chokes).
+  const Module ain = make_ain(1);
+  const Module aout = make_aout(1);
+  PropertySet ps;
+  ps.add(std::make_unique<DeadlockFreedom>());
+  return verify_modules({&ain, &aout}, ps.ptrs, cfg.verify);
+}
+
+VerificationResult experiment2(const ExperimentConfig& cfg) {
+  // Guarantee A_out:  A_in || I || OUT  <=  A_out at boundary 1
+  // (Fig. 9(a); the checked output is ACK = A1).
+  const Module ain = make_ain(1);
+  const Module stage = make_stage(1, cfg.timing);
+  const Module out = make_out_env(1, cfg.timing);
+  const Module aout = make_aout(1);
+  PropertySet ps = stage_properties(1, cfg.timing);
+  return check_containment({&ain, &stage, &out}, aout, ps.ptrs, cfg.verify);
+}
+
+VerificationResult experiment3(const ExperimentConfig& cfg) {
+  // Guarantee A_in (induction base):  IN || I || A_out  <=  A_in at
+  // boundary 2 (Fig. 9(b); the checked output is VALID = V2).
+  const Module in = make_in_env(cfg.timing);
+  const Module stage = make_stage(1, cfg.timing);
+  const Module aout = make_aout(2);
+  const Module ain = make_ain(2);
+  PropertySet ps = stage_properties(1, cfg.timing);
+  return check_containment({&in, &stage, &aout}, ain, ps.ptrs, cfg.verify);
+}
+
+VerificationResult experiment4(const ExperimentConfig& cfg) {
+  // A_in is a behavioural fixed point:  A_in || I || A_out  <=  A_in at
+  // boundary 2 (Fig. 9(c)) — the induction step for any pipeline length.
+  const Module ain1 = make_ain(1);
+  const Module stage = make_stage(1, cfg.timing);
+  const Module aout = make_aout(2);
+  const Module ain2 = make_ain(2);
+  PropertySet ps = stage_properties(1, cfg.timing);
+  return check_containment({&ain1, &stage, &aout}, ain2, ps.ptrs, cfg.verify);
+}
+
+VerificationResult experiment5(const ExperimentConfig& cfg) {
+  // 1-stage pipeline with pulse-driven environments at both ends:
+  // IN || I || OUT |= S (Section 5).
+  return flat_experiment(1, cfg);
+}
+
+VerificationResult flat_experiment(int n_stages, const ExperimentConfig& cfg) {
+  const ModuleSet set = flat_pipeline(n_stages, cfg.timing);
+  PropertySet ps;
+  ps.add(std::make_unique<DeadlockFreedom>());
+  ps.add(std::make_unique<PersistencyProperty>());
+  for (int k = 1; k <= n_stages; ++k) {
+    const Netlist nl = make_stage_netlist("I" + std::to_string(k),
+                                          linear_channels(k), cfg.timing.stage);
+    for (auto& p : short_circuit_properties(nl)) ps.add(std::move(p));
+  }
+  return verify_modules(set.ptrs, ps.ptrs, cfg.verify);
+}
+
+std::vector<NamedResult> run_all_experiments(const ExperimentConfig& cfg) {
+  std::vector<NamedResult> out;
+  out.push_back({"1. Ain || Aout |= S", experiment1(cfg)});
+  out.push_back({"2. Ain || I || OUT <= Aout", experiment2(cfg)});
+  out.push_back({"3. IN || I || Aout <= Ain", experiment3(cfg)});
+  out.push_back({"4. Ain || I || Aout <= Ain (fixed point)", experiment4(cfg)});
+  out.push_back({"5. IN || I || OUT |= S", experiment5(cfg)});
+  return out;
+}
+
+}  // namespace rtv::ipcmos

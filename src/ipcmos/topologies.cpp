@@ -1,0 +1,76 @@
+#include "rtv/ipcmos/topologies.hpp"
+
+#include "rtv/circuit/elaborate.hpp"
+#include "rtv/circuit/invariants.hpp"
+
+namespace rtv::ipcmos {
+
+namespace {
+
+StageChannels join_channels() {
+  StageChannels ch;
+  ch.valid_in = {"Va", "Vb"};
+  ch.ack_out = "A";
+  ch.valid_out = {"Vo"};
+  ch.ack_in = {"Ao"};
+  return ch;
+}
+
+StageChannels fork_channels() {
+  StageChannels ch;
+  ch.valid_in = {"Vi"};
+  ch.ack_out = "Ai";
+  ch.valid_out = {"Va", "Vb"};
+  ch.ack_in = {"Aa", "Ab"};
+  return ch;
+}
+
+VerificationResult verify_topology(const ModuleSet& set, const Netlist& nl,
+                                   const VerifyOptions& opts) {
+  DeadlockFreedom dead;
+  PersistencyProperty pers;
+  std::vector<const SafetyProperty*> props{&dead, &pers};
+  const auto scs = short_circuit_properties(nl);
+  for (const auto& p : scs) props.push_back(p.get());
+  return verify_modules(set.ptrs, props, opts);
+}
+
+}  // namespace
+
+Netlist make_join_netlist(const StageTiming& t) {
+  return make_stage_netlist("J", join_channels(), t);
+}
+
+Netlist make_fork_netlist(const StageTiming& t) {
+  return make_stage_netlist("F", fork_channels(), t);
+}
+
+ModuleSet join_system(const PipelineTiming& t) {
+  ModuleSet set;
+  set.add(stg_library::in_module("Va", "A", t.env));
+  set.add(stg_library::in_module("Vb", "A", t.env));
+  set.add(elaborate(make_join_netlist(t.stage)));
+  set.add(stg_library::out_module("Vo", "Ao", t.env));
+  return set;
+}
+
+ModuleSet fork_system(const PipelineTiming& t) {
+  ModuleSet set;
+  set.add(stg_library::in_module("Vi", "Ai", t.env));
+  set.add(elaborate(make_fork_netlist(t.stage)));
+  set.add(stg_library::out_module("Va", "Aa", t.env));
+  set.add(stg_library::out_module("Vb", "Ab", t.env));
+  return set;
+}
+
+VerificationResult verify_join(const ExperimentConfig& cfg) {
+  const ModuleSet set = join_system(cfg.timing);
+  return verify_topology(set, make_join_netlist(cfg.timing.stage), cfg.verify);
+}
+
+VerificationResult verify_fork(const ExperimentConfig& cfg) {
+  const ModuleSet set = fork_system(cfg.timing);
+  return verify_topology(set, make_fork_netlist(cfg.timing.stage), cfg.verify);
+}
+
+}  // namespace rtv::ipcmos

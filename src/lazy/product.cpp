@@ -1,0 +1,59 @@
+#include <deque>
+#include <unordered_map>
+
+#include "rtv/base/log.hpp"
+#include "rtv/lazy/refined_system.hpp"
+
+namespace rtv {
+
+MaterializedLazyTs materialize(const RefinedSystem& sys, std::size_t max_states) {
+  MaterializedLazyTs out;
+  const TransitionSystem& base = sys.base();
+
+  // Copy the event table so refined EventIds equal base EventIds.
+  for (std::size_t i = 0; i < base.num_events(); ++i) {
+    const Event& e = base.event(EventId(static_cast<EventId::underlying_type>(i)));
+    out.ts.add_event(e.label, e.delay, e.kind);
+  }
+
+  std::unordered_map<RefinedState, StateId, RefinedStateHash> index;
+  std::deque<RefinedState> queue;
+
+  auto intern = [&](const RefinedState& rs) {
+    auto it = index.find(rs);
+    if (it != index.end()) return it->second;
+    const StateId s = out.ts.add_state(base.state_name(rs.base));
+    out.base_state.push_back(rs.base);
+    if (base.has_valuations()) {
+      if (out.ts.signal_names().empty())
+        out.ts.set_signal_names(base.signal_names());
+      out.ts.set_state_valuation(s, base.valuation(rs.base));
+    }
+    index.emplace(rs, s);
+    queue.push_back(rs);
+    return s;
+  };
+
+  out.ts.set_initial(intern(sys.initial()));
+
+  while (!queue.empty()) {
+    if (out.ts.num_states() > max_states) {
+      out.truncated = true;
+      RTV_WARN << "lazy materialisation truncated at " << out.ts.num_states();
+      break;
+    }
+    const RefinedState rs = queue.front();
+    queue.pop_front();
+    const StateId from = index.at(rs);
+    for (const Transition& t : base.transitions_from(rs.base)) {
+      if (sys.blocked(rs, t.event)) {
+        ++out.blocked_firings;
+        continue;
+      }
+      out.ts.add_transition(from, t.event, intern(sys.advance(rs, t.event)));
+    }
+  }
+  return out;
+}
+
+}  // namespace rtv

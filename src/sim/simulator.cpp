@@ -1,0 +1,175 @@
+#include "rtv/sim/simulator.hpp"
+
+#include <algorithm>
+
+namespace rtv {
+
+SimTrace simulate(const TransitionSystem& ts, const SimOptions& options) {
+  SimTrace out;
+  Rng rng(options.seed);
+
+  StateId state = ts.initial();
+  Time now = 0;
+  // Scheduled firing time per pending enabled event.
+  struct Pending {
+    EventId event;
+    Time fire_at;
+  };
+  std::vector<Pending> pending;
+  for (EventId e : ts.enabled_events(state))
+    pending.push_back({e, rng.sample_delay(ts.delay(e))});
+
+  while (out.events.size() < options.max_events && now <= options.max_time) {
+    if (pending.empty()) {
+      out.deadlocked = true;
+      break;
+    }
+    // Race semantics: the earliest schedule fires.
+    auto it = std::min_element(
+        pending.begin(), pending.end(),
+        [](const Pending& a, const Pending& b) { return a.fire_at < b.fire_at; });
+    const Pending fired = *it;
+    now = fired.fire_at;
+    const auto succ = ts.successor(state, fired.event);
+    state = *succ;
+
+    out.events.push_back(
+        {now, fired.event, ts.label(fired.event), state});
+    if (ts.has_valuations()) out.valuations.push_back(ts.valuation(state));
+
+    // Persistent events keep their schedules; the fired event and disabled
+    // events are dropped; newly enabled events are sampled from now.
+    const std::vector<EventId> enabled = ts.enabled_events(state);
+    std::vector<Pending> next;
+    for (const Pending& p : pending) {
+      if (p.event == fired.event) continue;
+      if (std::binary_search(enabled.begin(), enabled.end(), p.event))
+        next.push_back(p);
+    }
+    for (EventId e : enabled) {
+      const bool already =
+          std::any_of(next.begin(), next.end(),
+                      [&](const Pending& p) { return p.event == e; });
+      if (!already) next.push_back({e, now + rng.sample_delay(ts.delay(e))});
+    }
+    pending = std::move(next);
+  }
+  out.end_time = now;
+  return out;
+}
+
+}  // namespace rtv
+
+// ---------------------------------------------------------------------------
+// On-the-fly composition simulation.
+
+#include "rtv/ts/module.hpp"
+
+namespace rtv {
+
+SimTrace simulate_modules(const std::vector<const Module*>& modules,
+                          const SimOptions& options) {
+  SimTrace out;
+  Rng rng(options.seed);
+  const std::size_t n_mod = modules.size();
+
+  // Union alphabet with participation map and tightest delays.
+  std::vector<std::string> labels;
+  for (const Module* m : modules)
+    for (const std::string& l : m->alphabet()) labels.push_back(l);
+  std::sort(labels.begin(), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+  std::vector<std::vector<EventId>> local(labels.size(),
+                                          std::vector<EventId>(n_mod));
+  std::vector<DelayInterval> delay(labels.size());
+  for (std::size_t li = 0; li < labels.size(); ++li) {
+    DelayInterval d = DelayInterval::unbounded();
+    for (std::size_t mi = 0; mi < n_mod; ++mi) {
+      local[li][mi] = modules[mi]->ts().event_by_label(labels[li]);
+      if (local[li][mi].valid())
+        d = d.intersect(modules[mi]->ts().event(local[li][mi]).delay);
+    }
+    delay[li] = d;
+  }
+
+  // Merged signal table.
+  std::vector<std::string> signals;
+  for (const Module* m : modules)
+    for (const std::string& s : m->ts().signal_names()) signals.push_back(s);
+  std::sort(signals.begin(), signals.end());
+  signals.erase(std::unique(signals.begin(), signals.end()), signals.end());
+  out.signal_names = signals;
+
+  std::vector<StateId> state(n_mod);
+  for (std::size_t mi = 0; mi < n_mod; ++mi) state[mi] = modules[mi]->ts().initial();
+
+  auto label_enabled = [&](std::size_t li) {
+    for (std::size_t mi = 0; mi < n_mod; ++mi) {
+      const EventId le = local[li][mi];
+      if (le.valid() && !modules[mi]->ts().is_enabled(state[mi], le)) return false;
+    }
+    return true;
+  };
+
+  auto merged_valuation = [&]() {
+    BitVec v(signals.size());
+    for (std::size_t mi = 0; mi < n_mod; ++mi) {
+      const TransitionSystem& ts = modules[mi]->ts();
+      if (!ts.has_valuations()) continue;
+      const BitVec& lv = ts.valuation(state[mi]);
+      const auto& names = ts.signal_names();
+      for (std::size_t k = 0; k < names.size(); ++k) {
+        if (!lv.test(k)) continue;
+        const auto it = std::lower_bound(signals.begin(), signals.end(), names[k]);
+        v.set(static_cast<std::size_t>(it - signals.begin()));
+      }
+    }
+    return v;
+  };
+
+  struct Pending {
+    std::size_t label;
+    Time fire_at;
+  };
+  std::vector<Pending> pending;
+  Time now = 0;
+  for (std::size_t li = 0; li < labels.size(); ++li)
+    if (label_enabled(li)) pending.push_back({li, rng.sample_delay(delay[li])});
+
+  while (out.events.size() < options.max_events && now <= options.max_time) {
+    if (pending.empty()) {
+      out.deadlocked = true;
+      break;
+    }
+    auto it = std::min_element(
+        pending.begin(), pending.end(),
+        [](const Pending& a, const Pending& b) { return a.fire_at < b.fire_at; });
+    const Pending fired = *it;
+    now = fired.fire_at;
+    for (std::size_t mi = 0; mi < n_mod; ++mi) {
+      const EventId le = local[fired.label][mi];
+      if (le.valid()) state[mi] = *modules[mi]->ts().successor(state[mi], le);
+    }
+    out.events.push_back({now, EventId::invalid(), labels[fired.label],
+                          StateId::invalid()});
+    out.valuations.push_back(merged_valuation());
+
+    std::vector<Pending> next;
+    for (const Pending& p : pending) {
+      if (p.label == fired.label) continue;
+      if (label_enabled(p.label)) next.push_back(p);
+    }
+    for (std::size_t li = 0; li < labels.size(); ++li) {
+      if (!label_enabled(li)) continue;
+      const bool already = std::any_of(
+          next.begin(), next.end(),
+          [&](const Pending& p) { return p.label == li; });
+      if (!already) next.push_back({li, now + rng.sample_delay(delay[li])});
+    }
+    pending = std::move(next);
+  }
+  out.end_time = now;
+  return out;
+}
+
+}  // namespace rtv

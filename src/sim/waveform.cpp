@@ -1,0 +1,94 @@
+#include "rtv/sim/waveform.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rtv {
+
+namespace {
+
+std::vector<std::size_t> resolve(const TransitionSystem& ts,
+                                 const std::vector<std::string>& signals) {
+  std::vector<std::size_t> idx;
+  for (const std::string& s : signals) {
+    const std::size_t i = ts.signal_index(s);
+    if (i != static_cast<std::size_t>(-1)) idx.push_back(i);
+  }
+  return idx;
+}
+
+}  // namespace
+
+std::string ascii_waveform(const TransitionSystem& ts, const SimTrace& trace,
+                           const std::vector<std::string>& signals,
+                           std::size_t columns) {
+  std::ostringstream os;
+  const std::size_t n =
+      std::min({trace.events.size(), trace.valuations.size(), columns});
+  std::size_t width = 0;
+  for (const std::string& s : signals) width = std::max(width, s.size());
+
+  for (const std::string& name : signals) {
+    const std::size_t idx = ts.signal_index(name);
+    os << name << std::string(width - name.size(), ' ') << " ";
+    if (idx == static_cast<std::size_t>(-1)) {
+      os << "(unknown signal)\n";
+      continue;
+    }
+    bool prev = false;
+    bool have_prev = false;
+    for (std::size_t k = 0; k < n; ++k) {
+      const bool v = trace.valuations[k].test(idx);
+      if (have_prev && v != prev) {
+        os << (v ? '/' : '\\');
+      } else {
+        os << (v ? '\'' : '.');
+      }
+      prev = v;
+      have_prev = true;
+    }
+    os << "\n";
+  }
+  os << std::string(width + 1, ' ');
+  for (std::size_t k = 0; k < n; ++k) {
+    os << (k % 10 == 0 ? '|' : ' ');
+  }
+  os << "\n";
+  return os.str();
+}
+
+std::string to_vcd(const TransitionSystem& ts, const SimTrace& trace,
+                   const std::vector<std::string>& signals) {
+  std::vector<std::string> names = signals;
+  if (names.empty()) names = ts.signal_names();
+  const std::vector<std::size_t> idx = resolve(ts, names);
+
+  std::ostringstream os;
+  os << "$date today $end\n$timescale 10ps $end\n$scope module rtv $end\n";
+  // VCD identifier per signal: printable chars from '!'.
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    os << "$var wire 1 " << static_cast<char>('!' + k) << " " << names[k]
+       << " $end\n";
+  }
+  os << "$upscope $end\n$enddefinitions $end\n";
+
+  std::vector<int> last(idx.size(), -1);
+  const std::size_t n = std::min(trace.events.size(), trace.valuations.size());
+  for (std::size_t e = 0; e < n; ++e) {
+    bool stamped = false;
+    for (std::size_t k = 0; k < idx.size(); ++k) {
+      const int v = trace.valuations[e].test(idx[k]) ? 1 : 0;
+      if (v != last[k]) {
+        if (!stamped) {
+          os << "#" << trace.events[e].time << "\n";
+          stamped = true;
+        }
+        os << v << static_cast<char>('!' + k) << "\n";
+        last[k] = v;
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace rtv

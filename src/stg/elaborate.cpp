@@ -1,0 +1,121 @@
+#include "rtv/stg/elaborate.hpp"
+
+#include <deque>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace rtv {
+
+namespace {
+
+struct Marking {
+  BitVec places;
+  BitVec values;
+
+  friend bool operator==(const Marking& a, const Marking& b) {
+    return a.places == b.places && a.values == b.values;
+  }
+};
+
+struct MarkingHash {
+  std::size_t operator()(const Marking& m) const noexcept {
+    return m.places.hash() * 31 + m.values.hash();
+  }
+};
+
+}  // namespace
+
+Module elaborate(const Stg& stg, const StgElaborateOptions& options) {
+  TransitionSystem ts;
+  const std::vector<std::string> signals = stg.signals();
+  ts.set_signal_names(signals);
+
+  auto signal_idx = [&](const std::string& s) {
+    return static_cast<std::size_t>(
+        std::lower_bound(signals.begin(), signals.end(), s) - signals.begin());
+  };
+
+  // Event per distinct label; delays of same-label transitions intersect.
+  std::vector<EventId> event_of(stg.num_transitions());
+  for (std::size_t t = 0; t < stg.num_transitions(); ++t) {
+    const StgTransition& tr = stg.transition(t);
+    const EventId existing = ts.event_by_label(tr.label());
+    if (existing.valid()) {
+      event_of[t] = existing;
+      ts.set_event_delay(existing, ts.delay(existing).intersect(tr.delay));
+    } else {
+      event_of[t] = ts.add_event(tr.label(), tr.delay, tr.kind);
+    }
+  }
+
+  Marking init;
+  init.places = BitVec(stg.num_places());
+  for (std::size_t p = 0; p < stg.num_places(); ++p)
+    if (stg.initially_marked(PlaceId(static_cast<PlaceId::underlying_type>(p))))
+      init.places.set(p);
+  init.values = BitVec(signals.size());
+  for (const std::string& s : signals)
+    if (stg.initial_value(s)) init.values.set(signal_idx(s));
+
+  std::unordered_map<Marking, StateId, MarkingHash> index;
+  std::deque<Marking> queue;
+
+  auto intern = [&](const Marking& m) {
+    auto it = index.find(m);
+    if (it != index.end()) return it->second;
+    const StateId s = ts.add_state(m.places.to_string());
+    ts.set_state_valuation(s, m.values);
+    index.emplace(m, s);
+    queue.push_back(m);
+    return s;
+  };
+
+  ts.set_initial(intern(init));
+
+  while (!queue.empty()) {
+    if (index.size() > options.max_markings)
+      throw std::runtime_error("STG '" + stg.name() + "': marking budget exhausted");
+    const Marking m = queue.front();
+    queue.pop_front();
+    const StateId from = index.at(m);
+
+    for (std::size_t t = 0; t < stg.num_transitions(); ++t) {
+      const StgTransition& tr = stg.transition(t);
+      bool enabled = !tr.preset.empty();
+      for (PlaceId p : tr.preset) {
+        if (!m.places.test(p.value())) {
+          enabled = false;
+          break;
+        }
+      }
+      if (!enabled) continue;
+
+      Marking next = m;
+      for (PlaceId p : tr.preset) next.places.reset(p.value());
+      for (PlaceId p : tr.postset) {
+        if (options.require_one_safe && next.places.test(p.value())) {
+          throw std::runtime_error("STG '" + stg.name() + "': place '" +
+                                   stg.place_name(p) + "' not 1-safe");
+        }
+        next.places.set(p.value());
+      }
+      if (!tr.signal.empty()) {
+        const std::size_t si = signal_idx(tr.signal);
+        if (next.values.test(si) == tr.rising) {
+          std::ostringstream os;
+          os << "STG '" << stg.name() << "': inconsistent transition "
+             << tr.label() << " (signal already "
+             << (tr.rising ? "high" : "low") << ")";
+          throw std::runtime_error(os.str());
+        }
+        next.values.set(si, tr.rising);
+      }
+      ts.add_transition(from, event_of[t], intern(next));
+    }
+  }
+
+  return Module(stg.name(), std::move(ts));
+}
+
+}  // namespace rtv

@@ -1,0 +1,160 @@
+#include "rtv/stg/library.hpp"
+
+namespace rtv::stg_library {
+
+Stg make_in(const std::string& valid, const std::string& ack,
+            const EnvTiming& timing) {
+  Stg stg("IN(" + valid + "," + ack + ")");
+  stg.set_initial_value(valid, true);
+  stg.set_initial_value(ack, false);
+
+  const auto v_minus =
+      stg.add_transition(valid, false, timing.valid_fall, EventKind::kOutput);
+  const auto v_plus =
+      stg.add_transition(valid, true, timing.valid_rise, EventKind::kOutput);
+  const auto a_plus = stg.add_transition(ack, true, DelayInterval::unbounded(),
+                                         EventKind::kInput);
+  const auto a_minus = stg.add_transition(ack, false, DelayInterval::unbounded(),
+                                          EventKind::kInput);
+
+  // VALID pulse: VALID- -> VALID- ... -> VALID+ -> (ready for next VALID-).
+  const PlaceId p_pulse = stg.chain(v_minus, v_plus);
+  (void)p_pulse;
+  const PlaceId p_vdone = stg.add_place("vdone", true);
+  stg.arc(v_plus, p_vdone);
+  stg.arc(p_vdone, v_minus);
+
+  // Interlock: no new data until the previous one was acknowledged.
+  const PlaceId p_wait_ack = stg.chain(v_minus, a_plus);
+  (void)p_wait_ack;
+  const PlaceId p_acked = stg.add_place("acked", true);
+  stg.arc(a_plus, p_acked);
+  stg.arc(p_acked, v_minus);
+
+  // ACK pulse bookkeeping: ACK- after ACK+, next ACK+ after ACK-.
+  stg.chain(a_plus, a_minus);
+  const PlaceId p_ackdone = stg.add_place("ackdone", true);
+  stg.arc(a_minus, p_ackdone);
+  stg.arc(p_ackdone, a_plus);
+  return stg;
+}
+
+Stg make_out(const std::string& valid, const std::string& ack,
+             const EnvTiming& timing) {
+  Stg stg("OUT(" + valid + "," + ack + ")");
+  stg.set_initial_value(valid, true);
+  stg.set_initial_value(ack, false);
+
+  const auto v_minus = stg.add_transition(valid, false,
+                                          DelayInterval::unbounded(),
+                                          EventKind::kInput);
+  const auto v_plus = stg.add_transition(valid, true, DelayInterval::unbounded(),
+                                         EventKind::kInput);
+  const auto a_plus =
+      stg.add_transition(ack, true, timing.ack_rise, EventKind::kOutput);
+  const auto a_minus =
+      stg.add_transition(ack, false, timing.ack_fall, EventKind::kOutput);
+
+  // Accept the VALID pulse; a new pulse is only accepted once the previous
+  // ACK pulse completed (keeps the net 1-safe; the pipeline interlock
+  // guarantees it anyway).
+  stg.chain(v_minus, v_plus);
+  const PlaceId q_ready = stg.add_place("ready", true);
+  stg.arc(v_plus, q_ready);
+  stg.arc(q_ready, v_minus);
+  const PlaceId q_ackdone = stg.add_place("ackdone", true);
+  stg.arc(q_ackdone, v_minus);
+
+  // Acknowledge each data item once, with a guaranteed minimum positive
+  // pulse width (ack_fall.lo()).
+  stg.chain(v_minus, a_plus);
+  stg.chain(a_plus, a_minus);
+  stg.arc(a_minus, q_ackdone);
+  return stg;
+}
+
+Stg make_ain(const std::string& valid, const std::string& ack) {
+  Stg stg("Ain(" + valid + "," + ack + ")");
+  stg.set_initial_value(valid, true);
+  stg.set_initial_value(ack, false);
+
+  // A_in is untimed in its protocol; the single timing annotation it
+  // carries is the bounded handshake-reset latency VALID+ <= ACK+ + 7,
+  // which every concrete refinement guarantees (IN: VALID+ - ACK+ in
+  // [eps, 7] via the pulse width; a stage: VALID+ at ACK+ + [2, 4]).
+  const auto v_minus = stg.add_transition(valid, false,
+                                          DelayInterval::unbounded(),
+                                          EventKind::kOutput);
+  const auto v_plus = stg.add_transition(valid, true, DelayInterval::units(0, 7),
+                                         EventKind::kOutput);
+  const auto a_plus = stg.add_transition(ack, true, DelayInterval::unbounded(),
+                                         EventKind::kInput);
+  const auto a_minus = stg.add_transition(ack, false, DelayInterval::unbounded(),
+                                          EventKind::kInput);
+
+  // Two-phase interlock (Fig. 6): VALID- -> ACK+ -> VALID+ -> VALID- ...
+  stg.chain(v_minus, a_plus);
+  stg.chain(a_plus, v_plus);
+  const PlaceId p_ready = stg.add_place("ready", true);
+  stg.arc(v_plus, p_ready);
+  stg.arc(p_ready, v_minus);
+
+  // ACK resets independently; next ACK+ only after ACK-.
+  stg.chain(a_plus, a_minus);
+  const PlaceId p_ackdone = stg.add_place("ackdone", true);
+  stg.arc(a_minus, p_ackdone);
+  stg.arc(p_ackdone, a_plus);
+  return stg;
+}
+
+Stg make_aout(const std::string& valid, const std::string& ack) {
+  Stg stg("Aout(" + valid + "," + ack + ")");
+  stg.set_initial_value(valid, true);
+  stg.set_initial_value(ack, false);
+
+  // A_out's acknowledge carries the envelope of its refinements:
+  // ACK+ at VALID- + [8, 15] (OUT: [8, 11]; a stage: [9, 15]) and an ACK
+  // pulse width of [5, 10].
+  const auto v_minus = stg.add_transition(valid, false,
+                                          DelayInterval::unbounded(),
+                                          EventKind::kInput);
+  const auto v_plus = stg.add_transition(valid, true, DelayInterval::unbounded(),
+                                         EventKind::kInput);
+  const auto a_plus = stg.add_transition(ack, true, DelayInterval::units(8, 15),
+                                         EventKind::kOutput);
+  const auto a_minus = stg.add_transition(ack, false, DelayInterval::units(5, 10),
+                                          EventKind::kOutput);
+
+  // Sample the low VALID, acknowledge once.
+  stg.chain(v_minus, a_plus);
+  // VALID+ arrives only after ACK+ (interlock of Fig. 6); the next VALID-
+  // needs the previous VALID+.
+  stg.chain(a_plus, v_plus);
+  const PlaceId q_ready = stg.add_place("ready", true);
+  stg.arc(v_plus, q_ready);
+  stg.arc(q_ready, v_minus);
+
+  // ACK pulse: independent reset, next ACK+ after ACK-.
+  stg.chain(a_plus, a_minus);
+  const PlaceId q_ackdone = stg.add_place("ackdone", true);
+  stg.arc(a_minus, q_ackdone);
+  stg.arc(q_ackdone, a_plus);
+  return stg;
+}
+
+Module in_module(const std::string& valid, const std::string& ack,
+                 const EnvTiming& timing) {
+  return elaborate(make_in(valid, ack, timing));
+}
+Module out_module(const std::string& valid, const std::string& ack,
+                  const EnvTiming& timing) {
+  return elaborate(make_out(valid, ack, timing));
+}
+Module ain_module(const std::string& valid, const std::string& ack) {
+  return elaborate(make_ain(valid, ack));
+}
+Module aout_module(const std::string& valid, const std::string& ack) {
+  return elaborate(make_aout(valid, ack));
+}
+
+}  // namespace rtv::stg_library

@@ -1,0 +1,78 @@
+#include "rtv/stg/stg.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rtv {
+
+PlaceId Stg::add_place(std::string name, bool initially_marked) {
+  places_.push_back(std::move(name));
+  marked_.push_back(initially_marked);
+  return PlaceId(static_cast<PlaceId::underlying_type>(places_.size() - 1));
+}
+
+void Stg::mark(PlaceId p, bool marked) { marked_[p.value()] = marked; }
+
+std::size_t Stg::add_transition(const std::string& signal, bool rising,
+                                DelayInterval delay, EventKind kind) {
+  StgTransition t;
+  t.signal = signal;
+  t.rising = rising;
+  t.delay = delay;
+  t.kind = kind;
+  transitions_.push_back(std::move(t));
+  return transitions_.size() - 1;
+}
+
+std::size_t Stg::add_dummy(const std::string& name, DelayInterval delay) {
+  StgTransition t;
+  t.dummy_name = name;
+  t.delay = delay;
+  t.kind = EventKind::kInternal;
+  transitions_.push_back(std::move(t));
+  return transitions_.size() - 1;
+}
+
+void Stg::arc(PlaceId from, std::size_t to_transition) {
+  transitions_[to_transition].preset.push_back(from);
+}
+
+void Stg::arc(std::size_t from_transition, PlaceId to) {
+  transitions_[from_transition].postset.push_back(to);
+}
+
+PlaceId Stg::chain(std::size_t t1, std::size_t t2, bool initially_marked) {
+  const PlaceId p = add_place(
+      "p(" + transitions_[t1].label() + "->" + transitions_[t2].label() + ")",
+      initially_marked);
+  arc(t1, p);
+  arc(p, t2);
+  return p;
+}
+
+void Stg::set_initial_value(const std::string& signal, bool value) {
+  for (auto& [s, v] : initial_values_) {
+    if (s == signal) {
+      v = value;
+      return;
+    }
+  }
+  initial_values_.emplace_back(signal, value);
+}
+
+std::vector<std::string> Stg::signals() const {
+  std::vector<std::string> out;
+  for (const StgTransition& t : transitions_)
+    if (!t.signal.empty()) out.push_back(t.signal);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool Stg::initial_value(const std::string& signal) const {
+  for (const auto& [s, v] : initial_values_)
+    if (s == signal) return v;
+  return false;
+}
+
+}  // namespace rtv

@@ -1,0 +1,159 @@
+#include "rtv/timing/ces.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace rtv {
+
+namespace {
+
+bool contains(const std::vector<EventId>& sorted, EventId e) {
+  return std::binary_search(sorted.begin(), sorted.end(), e);
+}
+
+/// Enabling point of the occurrence of `event` observed (pending or firing)
+/// at point `k`: the smallest m <= k such that the event is enabled at every
+/// point of [m, k] and was not fired at point m-1.  Points: 0..n-1 are trace
+/// steps; n is the final state.
+int enabling_point(const Trace& trace, EventId event, int k) {
+  const int n = static_cast<int>(trace.steps.size());
+  auto enabled_at = [&](int p) -> const std::vector<EventId>& {
+    return p < n ? trace.steps[static_cast<std::size_t>(p)].enabled
+                 : trace.final_enabled;
+  };
+  int m = k;
+  while (m > 0) {
+    const auto& prev = trace.steps[static_cast<std::size_t>(m - 1)];
+    if (prev.event == event) break;             // previous occurrence fired
+    if (!contains(prev.enabled, event)) break;  // was disabled at m-1
+    --m;
+  }
+  (void)enabled_at;
+  return m;
+}
+
+}  // namespace
+
+std::vector<int> Ces::cone(int v) const {
+  std::vector<bool> in(events.size(), false);
+  std::vector<int> stack{v};
+  in[static_cast<std::size_t>(v)] = true;
+  while (!stack.empty()) {
+    const int x = stack.back();
+    stack.pop_back();
+    for (int p : events[static_cast<std::size_t>(x)].preds) {
+      if (!in[static_cast<std::size_t>(p)]) {
+        in[static_cast<std::size_t>(p)] = true;
+        stack.push_back(p);
+      }
+    }
+  }
+  std::vector<int> out;
+  for (std::size_t i = 0; i < events.size(); ++i)
+    if (in[i]) out.push_back(static_cast<int>(i));
+  return out;
+}
+
+int Ces::find_label(const std::string& label) const {
+  for (std::size_t i = 0; i < events.size(); ++i)
+    if (events[i].label == label) return static_cast<int>(i);
+  return -1;
+}
+
+std::string Ces::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const CesEvent& e = events[i];
+    os << i << ": " << e.label << " " << e.delay.to_string();
+    if (e.pending) os << " (pending)";
+    if (!e.preds.empty()) {
+      os << " <- {";
+      for (std::size_t k = 0; k < e.preds.size(); ++k) {
+        if (k) os << ",";
+        os << e.preds[k];
+      }
+      os << "}";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Ces extract_ces(const TransitionSystem& ts, const Trace& trace,
+                bool include_pending) {
+  Ces ces;
+  const int n = static_cast<int>(trace.steps.size());
+
+  // Occurrence list: fired steps, then pending events of the final state.
+  struct Occ {
+    EventId event;
+    int fired_at;  // -1 for pending
+    int enab;      // enabling point
+  };
+  std::vector<Occ> occs;
+  occs.reserve(static_cast<std::size_t>(n) + trace.final_enabled.size());
+  for (int i = 0; i < n; ++i) {
+    const EventId e = trace.steps[static_cast<std::size_t>(i)].event;
+    occs.push_back(Occ{e, i, enabling_point(trace, e, i)});
+  }
+  if (include_pending) {
+    for (EventId e : trace.final_enabled) {
+      occs.push_back(Occ{e, -1, enabling_point(trace, e, n)});
+    }
+  }
+
+  // Precedence: fired occurrence i precedes occurrence j iff i fired before
+  // j's enabling window opened (they were never simultaneously enabled).
+  const auto precedes = [&](int i, int j) {
+    return occs[static_cast<std::size_t>(i)].fired_at >= 0 &&
+           occs[static_cast<std::size_t>(i)].fired_at <
+               occs[static_cast<std::size_t>(j)].enab;
+  };
+
+  ces.events.resize(occs.size());
+  for (std::size_t j = 0; j < occs.size(); ++j) {
+    CesEvent& ev = ces.events[j];
+    ev.event = occs[j].event;
+    ev.label = ts.label(occs[j].event);
+    ev.delay = ts.delay(occs[j].event);
+    ev.trace_point = occs[j].fired_at;
+    ev.pending = occs[j].fired_at < 0;
+    // Direct predecessors: maximal elements of {i : i < j's enabling}.
+    for (std::size_t i = 0; i < occs.size(); ++i) {
+      if (!precedes(static_cast<int>(i), static_cast<int>(j))) continue;
+      bool maximal = true;
+      for (std::size_t k = 0; k < occs.size(); ++k) {
+        if (k == i || !precedes(static_cast<int>(k), static_cast<int>(j)))
+          continue;
+        if (precedes(static_cast<int>(i), static_cast<int>(k))) {
+          maximal = false;
+          break;
+        }
+      }
+      if (maximal) ev.preds.push_back(static_cast<int>(i));
+    }
+  }
+  return ces;
+}
+
+CesBounds propagate_bounds(const Ces& ces) {
+  CesBounds b;
+  b.earliest.resize(ces.size(), 0);
+  b.latest.resize(ces.size(), 0);
+  for (std::size_t v = 0; v < ces.size(); ++v) {
+    Time emin = 0, emax = 0;
+    for (int p : ces.events[v].preds) {
+      emin = std::max(emin, b.earliest[static_cast<std::size_t>(p)]);
+      emax = std::max(emax, b.latest[static_cast<std::size_t>(p)]);
+    }
+    const DelayInterval& d = ces.events[v].delay;
+    b.earliest[v] = emin + d.lo();
+    b.latest[v] =
+        (emax >= kTimeInfinity || !d.upper_bounded()) ? kTimeInfinity
+                                                      : emax + d.hi();
+  }
+  return b;
+}
+
+}  // namespace rtv

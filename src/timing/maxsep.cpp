@@ -1,0 +1,125 @@
+#include "rtv/timing/maxsep.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "rtv/timing/difference_constraints.hpp"
+
+namespace rtv {
+
+namespace {
+
+/// Events whose firing time can influence t(a) or t(b): the union of the
+/// two causal cones.
+std::vector<int> relevant_cone(const Ces& ces, int a, int b) {
+  std::vector<int> ca = ces.cone(a);
+  const std::vector<int> cb = ces.cone(b);
+  ca.insert(ca.end(), cb.begin(), cb.end());
+  std::sort(ca.begin(), ca.end());
+  ca.erase(std::unique(ca.begin(), ca.end()), ca.end());
+  return ca;
+}
+
+}  // namespace
+
+MaxSepResult max_separation(const Ces& ces, int a, int b,
+                            std::size_t max_combinations) {
+  MaxSepResult result;
+  assert(a >= 0 && b >= 0);
+  assert(static_cast<std::size_t>(a) < ces.size());
+  assert(static_cast<std::size_t>(b) < ces.size());
+
+  const std::vector<int> cone = relevant_cone(ces, a, b);
+  // Map CES index -> variable index; the last variable is the time origin.
+  std::vector<int> var(ces.size(), -1);
+  for (std::size_t k = 0; k < cone.size(); ++k)
+    var[static_cast<std::size_t>(cone[k])] = static_cast<int>(k);
+  const int root = static_cast<int>(cone.size());
+  const int n_vars = root + 1;
+
+  // Events with several predecessors inside the cone need a choice of the
+  // last-arriving one.
+  std::vector<int> choice_events;
+  std::size_t combos = 1;
+  for (int v : cone) {
+    const auto& preds = ces.events[static_cast<std::size_t>(v)].preds;
+    if (preds.size() > 1) {
+      choice_events.push_back(v);
+      if (combos <= max_combinations) combos *= preds.size();
+    }
+  }
+
+  if (combos > max_combinations) {
+    // Conservative fallback: independent outer bounds.
+    const CesBounds bounds = propagate_bounds(ces);
+    const Time hi = bounds.latest[static_cast<std::size_t>(a)];
+    const Time lo = bounds.earliest[static_cast<std::size_t>(b)];
+    result.separation = (hi >= kTimeInfinity) ? kTimeInfinity : hi - lo;
+    result.exact = false;
+    result.combinations = 0;
+    return result;
+  }
+
+  // Odometer over choice functions.
+  std::vector<std::size_t> pick(choice_events.size(), 0);
+  Time best = -kTimeInfinity;
+  std::size_t explored = 0;
+  bool done = false;
+  while (!done) {
+    ++explored;
+    DiffSystem sys(n_vars);
+    for (int v : cone) {
+      const CesEvent& ev = ces.events[static_cast<std::size_t>(v)];
+      const int tv = var[static_cast<std::size_t>(v)];
+      if (ev.preds.empty()) {
+        // Source: enabled at the time origin.
+        sys.add_bounds(tv, root, ev.delay.lo(), ev.delay.hi());
+        continue;
+      }
+      int chosen = ev.preds[0];
+      if (ev.preds.size() > 1) {
+        const auto it = std::find(choice_events.begin(), choice_events.end(), v);
+        chosen = ev.preds[pick[static_cast<std::size_t>(
+            it - choice_events.begin())]];
+      }
+      const int tc = var[static_cast<std::size_t>(chosen)];
+      sys.add_bounds(tv, tc, ev.delay.lo(), ev.delay.hi());
+      for (int q : ev.preds) {
+        if (q == chosen) continue;
+        // The chosen predecessor arrives last: t[q] <= t[chosen].
+        sys.add(var[static_cast<std::size_t>(q)], tc, 0);
+      }
+    }
+    const auto solved = sys.solve();
+    if (solved.feasible) {
+      const Time sep = sys.max_separation(var[static_cast<std::size_t>(a)],
+                                          var[static_cast<std::size_t>(b)]);
+      best = std::max(best, sep);
+      if (best >= kTimeInfinity) break;
+    }
+
+    // Advance the odometer.
+    done = true;
+    for (std::size_t i = 0; i < pick.size(); ++i) {
+      const std::size_t n_preds =
+          ces.events[static_cast<std::size_t>(choice_events[i])].preds.size();
+      if (++pick[i] < n_preds) {
+        done = false;
+        break;
+      }
+      pick[i] = 0;
+    }
+  }
+
+  result.separation = best;
+  result.exact = true;
+  result.combinations = explored;
+  return result;
+}
+
+bool always_strictly_before(const Ces& ces, int a, int b) {
+  const MaxSepResult r = max_separation(ces, a, b);
+  return r.separation < 0;
+}
+
+}  // namespace rtv

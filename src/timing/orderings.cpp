@@ -1,0 +1,48 @@
+#include "rtv/timing/orderings.hpp"
+
+#include <sstream>
+
+#include "rtv/timing/maxsep.hpp"
+
+namespace rtv {
+
+namespace {
+
+/// True iff a is a (transitive) causal predecessor of b.
+bool causally_before(const Ces& ces, int a, int b) {
+  const auto cone = ces.cone(b);
+  for (int v : cone)
+    if (v == a && a != b) return true;
+  return false;
+}
+
+}  // namespace
+
+std::vector<CesOrdering> derive_ces_orderings(const Ces& ces) {
+  std::vector<CesOrdering> out;
+  const int n = static_cast<int>(ces.size());
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      if (a == b) continue;
+      if (causally_before(ces, a, b)) continue;  // already ordered structurally
+      const MaxSepResult r = max_separation(ces, a, b);
+      if (r.separation < 0) {
+        out.push_back(CesOrdering{a, b, -r.separation});
+      }
+    }
+  }
+  return out;
+}
+
+std::string format_ces_orderings(const Ces& ces,
+                                 const std::vector<CesOrdering>& orderings) {
+  std::ostringstream os;
+  for (const CesOrdering& o : orderings) {
+    os << ces.events[static_cast<std::size_t>(o.before)].label << " before "
+       << ces.events[static_cast<std::size_t>(o.after)].label << " (slack "
+       << units_from_ticks(o.slack) << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace rtv

@@ -1,0 +1,180 @@
+#include "rtv/ts/compose.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "rtv/base/log.hpp"
+
+namespace rtv {
+
+namespace {
+
+struct TupleHash {
+  std::size_t operator()(const std::vector<StateId>& v) const noexcept {
+    std::size_t h = v.size();
+    for (StateId s : v)
+      h ^= std::hash<StateId>()(s) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return h;
+  }
+};
+
+}  // namespace
+
+std::string Composition::describe_state(StateId s) const {
+  std::ostringstream os;
+  os << "(";
+  const auto& tuple = component_states[s.value()];
+  for (std::size_t i = 0; i < tuple.size(); ++i) {
+    if (i) os << ", ";
+    os << module_names[i] << ":" << tuple[i].value();
+  }
+  os << ")";
+  return os.str();
+}
+
+Composition compose(const std::vector<const Module*>& modules,
+                    const ComposeOptions& options) {
+  assert(!modules.empty());
+  Composition out;
+  for (const Module* m : modules) out.module_names.push_back(m->name());
+
+  // ---- build the composed alphabet --------------------------------------
+  // label -> (per-module local EventId or invalid)
+  std::vector<std::string> labels;
+  for (const Module* m : modules)
+    for (const std::string& l : m->alphabet()) labels.push_back(l);
+  std::sort(labels.begin(), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+
+  const std::size_t n_mod = modules.size();
+  std::vector<std::vector<EventId>> local_event(labels.size(),
+                                                std::vector<EventId>(n_mod));
+  std::vector<EventId> composed_event(labels.size());
+  for (std::size_t li = 0; li < labels.size(); ++li) {
+    DelayInterval delay = DelayInterval::unbounded();
+    EventKind kind = EventKind::kInternal;
+    bool any_output = false, any_input = false;
+    for (std::size_t mi = 0; mi < n_mod; ++mi) {
+      const EventId le = modules[mi]->ts().event_by_label(labels[li]);
+      local_event[li][mi] = le;
+      if (!le.valid()) continue;
+      const Event& ev = modules[mi]->ts().event(le);
+      delay = delay.intersect(ev.delay);
+      if (ev.kind == EventKind::kOutput) any_output = true;
+      if (ev.kind == EventKind::kInput) any_input = true;
+    }
+    if (any_output) {
+      kind = EventKind::kOutput;
+    } else if (any_input) {
+      kind = EventKind::kInput;
+    }
+    composed_event[li] = out.ts.add_event(labels[li], delay, kind);
+  }
+
+  // ---- merged signal table -----------------------------------------------
+  std::vector<std::string> signals;
+  for (const Module* m : modules)
+    for (const std::string& s : m->ts().signal_names()) signals.push_back(s);
+  std::sort(signals.begin(), signals.end());
+  signals.erase(std::unique(signals.begin(), signals.end()), signals.end());
+  const bool with_valuations = !signals.empty();
+  // per module: signal index in module -> signal index in composition
+  std::vector<std::vector<std::size_t>> sig_map(n_mod);
+  for (std::size_t mi = 0; mi < n_mod; ++mi) {
+    const auto& names = modules[mi]->ts().signal_names();
+    sig_map[mi].resize(names.size());
+    for (std::size_t k = 0; k < names.size(); ++k) {
+      sig_map[mi][k] = static_cast<std::size_t>(
+          std::lower_bound(signals.begin(), signals.end(), names[k]) -
+          signals.begin());
+    }
+  }
+  if (with_valuations) out.ts.set_signal_names(signals);
+
+  auto merged_valuation = [&](const std::vector<StateId>& tuple) {
+    BitVec v(signals.size());
+    for (std::size_t mi = 0; mi < n_mod; ++mi) {
+      const TransitionSystem& mts = modules[mi]->ts();
+      if (!mts.has_valuations()) continue;
+      const BitVec& lv = mts.valuation(tuple[mi]);
+      for (std::size_t k = 0; k < sig_map[mi].size(); ++k) {
+        if (lv.test(k)) v.set(sig_map[mi][k]);
+      }
+    }
+    return v;
+  };
+
+  // ---- reachable product exploration -------------------------------------
+  std::unordered_map<std::vector<StateId>, StateId, TupleHash> index;
+  std::deque<StateId> queue;
+
+  auto intern = [&](const std::vector<StateId>& tuple) {
+    auto it = index.find(tuple);
+    if (it != index.end()) return it->second;
+    const StateId s = out.ts.add_state();
+    if (with_valuations) out.ts.set_state_valuation(s, merged_valuation(tuple));
+    out.component_states.push_back(tuple);
+    index.emplace(tuple, s);
+    queue.push_back(s);
+    return s;
+  };
+
+  std::vector<StateId> init_tuple;
+  for (const Module* m : modules) {
+    assert(m->ts().initial().valid());
+    init_tuple.push_back(m->ts().initial());
+  }
+  out.ts.set_initial(intern(init_tuple));
+
+  while (!queue.empty()) {
+    if (out.ts.num_states() > options.max_states) {
+      out.truncated = true;
+      RTV_WARN << "composition truncated at " << out.ts.num_states() << " states";
+      break;
+    }
+    const StateId s = queue.front();
+    queue.pop_front();
+    const std::vector<StateId> tuple = out.component_states[s.value()];
+
+    for (std::size_t li = 0; li < labels.size(); ++li) {
+      bool all_ready = true;
+      bool producer_ready = false;
+      std::size_t producer = n_mod, blocker = n_mod;
+      std::vector<StateId> next = tuple;
+      for (std::size_t mi = 0; mi < n_mod; ++mi) {
+        const EventId le = local_event[li][mi];
+        if (!le.valid()) continue;  // module does not participate
+        const auto succ = modules[mi]->ts().successor(tuple[mi], le);
+        if (succ) {
+          next[mi] = *succ;
+          if (modules[mi]->ts().event(le).kind == EventKind::kOutput) {
+            producer_ready = true;
+            producer = mi;
+          }
+        } else {
+          all_ready = false;
+          if (blocker == n_mod) blocker = mi;
+        }
+      }
+      if (all_ready && producer == n_mod) {
+        // Purely-input label: fires only if some module owns it as output
+        // elsewhere; a label that nobody produces is driven by the implicit
+        // environment, so it still fires (open-system semantics).
+        producer_ready = true;
+      }
+      if (all_ready) {
+        out.ts.add_transition(s, composed_event[li], intern(next));
+      } else if (options.track_chokes && producer_ready) {
+        out.chokes.push_back(ChokeRecord{s, composed_event[li], producer, blocker});
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace rtv

@@ -1,0 +1,108 @@
+#include "rtv/ts/minimize.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace rtv {
+
+MinimizeResult minimize(const TransitionSystem& ts,
+                        const MinimizeOptions& options) {
+  const std::vector<StateId> reachable = ts.reachable_states();
+
+  // Initial partition: by valuation (optional); unreachable states are
+  // ignored entirely.
+  std::vector<std::size_t> block(ts.num_states(), static_cast<std::size_t>(-1));
+  {
+    std::map<std::string, std::size_t> seed;
+    for (StateId s : reachable) {
+      std::string key;
+      if (options.respect_valuations && ts.has_valuations()) {
+        key = ts.valuation(s).to_string();
+      }
+      const auto [it, inserted] = seed.emplace(key, seed.size());
+      block[s.value()] = it->second;
+    }
+  }
+
+  // Refinement: signature = sorted set of (event, successor block).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::map<std::pair<std::size_t, std::vector<std::pair<std::uint32_t, std::size_t>>>,
+             std::size_t>
+        next_index;
+    std::vector<std::size_t> next_block(ts.num_states(),
+                                        static_cast<std::size_t>(-1));
+    for (StateId s : reachable) {
+      std::vector<std::pair<std::uint32_t, std::size_t>> sig;
+      for (const Transition& t : ts.transitions_from(s)) {
+        sig.emplace_back(t.event.value(), block[t.target.value()]);
+      }
+      std::sort(sig.begin(), sig.end());
+      sig.erase(std::unique(sig.begin(), sig.end()), sig.end());
+      const auto key = std::make_pair(block[s.value()], std::move(sig));
+      const auto [it, inserted] = next_index.emplace(key, next_index.size());
+      next_block[s.value()] = it->second;
+    }
+    // Count old blocks among reachable states.
+    std::size_t old_count = 0;
+    {
+      std::vector<std::size_t> seen;
+      for (StateId s : reachable) seen.push_back(block[s.value()]);
+      std::sort(seen.begin(), seen.end());
+      seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+      old_count = seen.size();
+    }
+    if (next_index.size() != old_count) changed = true;
+    block = std::move(next_block);
+  }
+
+  // Build the quotient.
+  MinimizeResult out;
+  out.block_of = block;
+  std::size_t n_blocks = 0;
+  for (StateId s : reachable) n_blocks = std::max(n_blocks, block[s.value()] + 1);
+  out.num_blocks = n_blocks;
+
+  for (std::size_t i = 0; i < ts.num_events(); ++i) {
+    const Event& e = ts.event(EventId(static_cast<EventId::underlying_type>(i)));
+    out.ts.add_event(e.label, e.delay, e.kind);
+  }
+  std::vector<StateId> rep(n_blocks, StateId::invalid());
+  for (std::size_t b = 0; b < n_blocks; ++b) out.ts.add_state();
+  if (ts.has_valuations()) out.ts.set_signal_names(ts.signal_names());
+  for (StateId s : reachable) {
+    const std::size_t b = block[s.value()];
+    if (rep[b].valid()) continue;
+    rep[b] = s;
+    const StateId q(static_cast<StateId::underlying_type>(b));
+    out.ts.set_state_name(q, ts.state_name(s));
+    if (ts.has_valuations() && options.respect_valuations)
+      out.ts.set_state_valuation(q, ts.valuation(s));
+  }
+  // Transitions from the representatives (bisimilar states agree).
+  for (std::size_t b = 0; b < n_blocks; ++b) {
+    std::vector<std::pair<std::uint32_t, std::size_t>> emitted;
+    for (const Transition& t : ts.transitions_from(rep[b])) {
+      const auto key =
+          std::make_pair(t.event.value(), block[t.target.value()]);
+      if (std::find(emitted.begin(), emitted.end(), key) != emitted.end())
+        continue;
+      emitted.push_back(key);
+      out.ts.add_transition(
+          StateId(static_cast<StateId::underlying_type>(b)), t.event,
+          StateId(static_cast<StateId::underlying_type>(key.second)));
+    }
+  }
+  out.ts.set_initial(StateId(
+      static_cast<StateId::underlying_type>(block[ts.initial().value()])));
+  return out;
+}
+
+Module minimized(const Module& m, const MinimizeOptions& options) {
+  MinimizeResult r = minimize(m.ts(), options);
+  return Module(m.name() + "*", std::move(r.ts));
+}
+
+}  // namespace rtv

@@ -1,0 +1,109 @@
+#include "rtv/ts/trace.hpp"
+
+#include <deque>
+#include <sstream>
+#include <unordered_map>
+
+namespace rtv {
+
+std::vector<std::string> Trace::labels(const TransitionSystem& ts) const {
+  std::vector<std::string> out;
+  out.reserve(steps.size());
+  for (const TraceStep& s : steps) out.push_back(ts.label(s.event));
+  return out;
+}
+
+std::string Trace::to_string(const TransitionSystem& ts) const {
+  std::ostringstream os;
+  for (const TraceStep& s : steps) {
+    os << "{";
+    for (std::size_t i = 0; i < s.enabled.size(); ++i) {
+      if (i) os << ",";
+      os << ts.label(s.enabled[i]);
+    }
+    os << "} --" << ts.label(s.event) << "--> ";
+  }
+  os << "(final)";
+  return os.str();
+}
+
+namespace {
+
+struct BfsParents {
+  // parent state + event used to reach each state; -1 for unvisited.
+  std::vector<StateId> parent;
+  std::vector<EventId> via;
+  std::vector<bool> seen;
+};
+
+BfsParents bfs(const TransitionSystem& ts) {
+  BfsParents p;
+  p.parent.assign(ts.num_states(), StateId::invalid());
+  p.via.assign(ts.num_states(), EventId::invalid());
+  p.seen.assign(ts.num_states(), false);
+  if (!ts.initial().valid()) return p;
+  std::deque<StateId> queue{ts.initial()};
+  p.seen[ts.initial().value()] = true;
+  while (!queue.empty()) {
+    const StateId s = queue.front();
+    queue.pop_front();
+    for (const Transition& t : ts.transitions_from(s)) {
+      if (!p.seen[t.target.value()]) {
+        p.seen[t.target.value()] = true;
+        p.parent[t.target.value()] = s;
+        p.via[t.target.value()] = t.event;
+        queue.push_back(t.target);
+      }
+    }
+  }
+  return p;
+}
+
+Trace unwind(const TransitionSystem& ts, const BfsParents& p, StateId target) {
+  // Walk parents back to the initial state, then reverse.
+  std::vector<std::pair<StateId, EventId>> rev;
+  StateId cur = target;
+  while (cur != ts.initial()) {
+    const StateId par = p.parent[cur.value()];
+    rev.emplace_back(par, p.via[cur.value()]);
+    cur = par;
+  }
+  Trace trace;
+  for (auto it = rev.rbegin(); it != rev.rend(); ++it) {
+    TraceStep step;
+    step.state = it->first;
+    step.event = it->second;
+    step.enabled = ts.enabled_events(it->first);
+    trace.steps.push_back(std::move(step));
+  }
+  trace.final_state = target;
+  trace.final_enabled = ts.enabled_events(target);
+  return trace;
+}
+
+}  // namespace
+
+std::optional<Trace> shortest_trace_to(const TransitionSystem& ts, StateId target) {
+  const BfsParents p = bfs(ts);
+  if (target.value() >= ts.num_states() || !p.seen[target.value()])
+    return std::nullopt;
+  return unwind(ts, p, target);
+}
+
+std::optional<Trace> shortest_trace_firing(const TransitionSystem& ts,
+                                           StateId from_state, EventId event) {
+  auto base = shortest_trace_to(ts, from_state);
+  if (!base) return std::nullopt;
+  const auto succ = ts.successor(from_state, event);
+  if (!succ) return std::nullopt;
+  TraceStep step;
+  step.state = from_state;
+  step.event = event;
+  step.enabled = ts.enabled_events(from_state);
+  base->steps.push_back(std::move(step));
+  base->final_state = *succ;
+  base->final_enabled = ts.enabled_events(*succ);
+  return base;
+}
+
+}  // namespace rtv

@@ -1,0 +1,157 @@
+#include "rtv/ts/transition_system.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <sstream>
+
+namespace rtv {
+
+StateId TransitionSystem::add_state(std::string name) {
+  out_.emplace_back();
+  state_names_.push_back(std::move(name));
+  if (!valuations_.empty()) valuations_.emplace_back();
+  return StateId(static_cast<StateId::underlying_type>(out_.size() - 1));
+}
+
+EventId TransitionSystem::add_event(std::string label, DelayInterval delay,
+                                    EventKind kind) {
+  events_.push_back(Event{std::move(label), delay, kind});
+  return EventId(static_cast<EventId::underlying_type>(events_.size() - 1));
+}
+
+EventId TransitionSystem::ensure_event(const std::string& label,
+                                       DelayInterval delay, EventKind kind) {
+  const EventId existing = event_by_label(label);
+  if (existing.valid()) return existing;
+  return add_event(label, delay, kind);
+}
+
+void TransitionSystem::add_transition(StateId from, EventId event, StateId to) {
+  assert(from.value() < out_.size());
+  assert(to.value() < out_.size());
+  assert(event.value() < events_.size());
+  out_[from.value()].push_back(Transition{event, to});
+}
+
+void TransitionSystem::set_signal_names(std::vector<std::string> names) {
+  signal_names_ = std::move(names);
+  if (valuations_.empty()) valuations_.resize(out_.size());
+}
+
+void TransitionSystem::set_state_valuation(StateId s, BitVec valuation) {
+  if (valuations_.empty()) valuations_.resize(out_.size());
+  valuations_[s.value()] = std::move(valuation);
+}
+
+void TransitionSystem::set_state_name(StateId s, std::string name) {
+  state_names_[s.value()] = std::move(name);
+}
+
+std::size_t TransitionSystem::num_transitions() const {
+  std::size_t n = 0;
+  for (const auto& v : out_) n += v.size();
+  return n;
+}
+
+std::vector<EventId> TransitionSystem::enabled_events(StateId s) const {
+  std::vector<EventId> out;
+  for (const Transition& t : out_[s.value()]) out.push_back(t.event);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool TransitionSystem::is_enabled(StateId s, EventId e) const {
+  for (const Transition& t : out_[s.value()])
+    if (t.event == e) return true;
+  return false;
+}
+
+std::optional<StateId> TransitionSystem::successor(StateId s, EventId e) const {
+  for (const Transition& t : out_[s.value()])
+    if (t.event == e) return t.target;
+  return std::nullopt;
+}
+
+EventId TransitionSystem::event_by_label(std::string_view label) const {
+  for (std::size_t i = 0; i < events_.size(); ++i)
+    if (events_[i].label == label)
+      return EventId(static_cast<EventId::underlying_type>(i));
+  return EventId::invalid();
+}
+
+std::size_t TransitionSystem::signal_index(std::string_view name) const {
+  for (std::size_t i = 0; i < signal_names_.size(); ++i)
+    if (signal_names_[i] == name) return i;
+  return static_cast<std::size_t>(-1);
+}
+
+std::vector<StateId> TransitionSystem::reachable_states() const {
+  std::vector<StateId> order;
+  if (!initial_.valid()) return order;
+  std::vector<bool> seen(num_states(), false);
+  std::deque<StateId> queue{initial_};
+  seen[initial_.value()] = true;
+  while (!queue.empty()) {
+    const StateId s = queue.front();
+    queue.pop_front();
+    order.push_back(s);
+    for (const Transition& t : out_[s.value()]) {
+      if (!seen[t.target.value()]) {
+        seen[t.target.value()] = true;
+        queue.push_back(t.target);
+      }
+    }
+  }
+  return order;
+}
+
+std::size_t TransitionSystem::num_reachable_states() const {
+  return reachable_states().size();
+}
+
+std::string TransitionSystem::to_string() const {
+  std::ostringstream os;
+  os << "TS: " << num_states() << " states, " << num_events() << " events, "
+     << num_transitions() << " transitions\n";
+  for (std::size_t s = 0; s < num_states(); ++s) {
+    os << "  s" << s;
+    if (!state_names_[s].empty()) os << " (" << state_names_[s] << ")";
+    if (initial_.valid() && initial_.value() == s) os << " [initial]";
+    os << ":\n";
+    for (const Transition& t : out_[s]) {
+      os << "    --" << events_[t.event.value()].label << "--> s"
+         << t.target.value() << "\n";
+    }
+  }
+  return os.str();
+}
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kInput:
+      return "input";
+    case EventKind::kOutput:
+      return "output";
+    case EventKind::kInternal:
+      return "internal";
+  }
+  return "?";
+}
+
+std::string transition_label(const std::string& signal, bool rising) {
+  return signal + (rising ? "+" : "-");
+}
+
+bool parse_transition_label(const std::string& label, std::string* signal,
+                            bool* rising) {
+  if (label.empty()) return false;
+  const char last = label.back();
+  if (last != '+' && last != '-') return false;
+  *signal = label.substr(0, label.size() - 1);
+  *rising = (last == '+');
+  return true;
+}
+
+}  // namespace rtv

@@ -1,0 +1,21 @@
+#include "rtv/verify/containment.hpp"
+
+namespace rtv {
+
+VerificationResult check_containment(
+    const std::vector<const Module*>& system, const Module& abstraction,
+    const std::vector<const SafetyProperty*>& extra_properties,
+    const VerifyOptions& options) {
+  // The abstraction participates as a monitor: it observes every event of
+  // its alphabet, constrains neither timing nor enabling, and any event it
+  // cannot accept surfaces as a choke in the composition.
+  const Module monitor = abstraction.as_monitor(abstraction.name() + "'");
+  std::vector<const Module*> modules = system;
+  modules.push_back(&monitor);
+
+  VerifyOptions opts = options;
+  opts.track_chokes = true;
+  return verify_modules(modules, extra_properties, opts);
+}
+
+}  // namespace rtv

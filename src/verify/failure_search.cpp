@@ -1,0 +1,137 @@
+#include "rtv/verify/failure_search.hpp"
+
+#include <deque>
+#include <unordered_map>
+
+#include "rtv/base/log.hpp"
+
+namespace rtv {
+
+namespace {
+
+/// Rebuild a trace (over base states, with raw enabling sets) from BFS
+/// parent pointers in refined-state space.
+Trace unwind(const TransitionSystem& base,
+             const std::vector<RefinedState>& states,
+             const std::vector<std::ptrdiff_t>& parent,
+             const std::vector<EventId>& via, std::ptrdiff_t leaf) {
+  std::vector<std::pair<StateId, EventId>> rev;
+  std::ptrdiff_t cur = leaf;
+  while (parent[static_cast<std::size_t>(cur)] >= 0) {
+    const std::ptrdiff_t par = parent[static_cast<std::size_t>(cur)];
+    rev.emplace_back(states[static_cast<std::size_t>(par)].base,
+                     via[static_cast<std::size_t>(cur)]);
+    cur = par;
+  }
+  Trace t;
+  for (auto it = rev.rbegin(); it != rev.rend(); ++it) {
+    TraceStep step;
+    step.state = it->first;
+    step.event = it->second;
+    step.enabled = base.enabled_events(it->first);
+    t.steps.push_back(std::move(step));
+  }
+  t.final_state = states[static_cast<std::size_t>(leaf)].base;
+  t.final_enabled = base.enabled_events(t.final_state);
+  return t;
+}
+
+}  // namespace
+
+std::optional<Failure> find_failure(
+    const RefinedSystem& sys, std::span<const ChokeRecord> chokes,
+    std::span<const SafetyProperty* const> properties, std::size_t max_states,
+    FailureSearchStats* stats) {
+  const TransitionSystem& base = sys.base();
+
+  // Chokes indexed by base state for O(1) lookup.
+  std::unordered_map<StateId::underlying_type, std::vector<const ChokeRecord*>>
+      chokes_at;
+  for (const ChokeRecord& c : chokes) chokes_at[c.state.value()].push_back(&c);
+
+  std::unordered_map<RefinedState, std::ptrdiff_t, RefinedStateHash> index;
+  std::vector<RefinedState> states;
+  std::vector<std::ptrdiff_t> parent;
+  std::vector<EventId> via;
+  std::deque<std::ptrdiff_t> queue;
+
+  auto intern = [&](const RefinedState& rs, std::ptrdiff_t par, EventId e) {
+    auto it = index.find(rs);
+    if (it != index.end()) return;
+    const std::ptrdiff_t id = static_cast<std::ptrdiff_t>(states.size());
+    index.emplace(rs, id);
+    states.push_back(rs);
+    parent.push_back(par);
+    via.push_back(e);
+    queue.push_back(id);
+  };
+
+  intern(sys.initial(), -1, EventId::invalid());
+
+  while (!queue.empty()) {
+    if (states.size() > max_states) {
+      if (stats) stats->truncated = true;
+      RTV_WARN << "failure search truncated at " << states.size() << " states";
+      break;
+    }
+    const std::ptrdiff_t id = queue.front();
+    queue.pop_front();
+    const RefinedState rs = states[static_cast<std::size_t>(id)];
+    const std::vector<EventId> raw_enabled = base.enabled_events(rs.base);
+    const PropertyContext ctx{base, rs.base, raw_enabled};
+
+    // 1. State violations.
+    for (const SafetyProperty* p : properties) {
+      if (auto v = p->check_state(ctx)) {
+        Failure f;
+        f.trace = unwind(base, states, parent, via, id);
+        f.description = *v;
+        if (stats) stats->states_explored = states.size();
+        return f;
+      }
+    }
+
+    // 2. Chokes at this base state (virtual firings refused by a monitor).
+    if (auto it = chokes_at.find(rs.base.value()); it != chokes_at.end()) {
+      for (const ChokeRecord* c : it->second) {
+        if (sys.blocked(rs, c->event)) continue;  // timing-pruned
+        Failure f;
+        f.trace = unwind(base, states, parent, via, id);
+        f.virtual_event = c->event;
+        f.description = "refusal: output '" + base.label(c->event) +
+                        "' not accepted (containment violation)";
+        if (stats) stats->states_explored = states.size();
+        return f;
+      }
+    }
+
+    // 3. Firings: event checks, then expansion.
+    for (const Transition& t : base.transitions_from(rs.base)) {
+      if (sys.blocked(rs, t.event)) continue;
+      const std::vector<EventId> succ_enabled = base.enabled_events(t.target);
+      for (const SafetyProperty* p : properties) {
+        if (auto v = p->check_event(ctx, t.event, t.target, succ_enabled)) {
+          Failure f;
+          f.trace = unwind(base, states, parent, via, id);
+          // The violating firing becomes the last step of the trace.
+          TraceStep step;
+          step.state = rs.base;
+          step.event = t.event;
+          step.enabled = raw_enabled;
+          f.trace.steps.push_back(std::move(step));
+          f.trace.final_state = t.target;
+          f.trace.final_enabled = succ_enabled;
+          f.description = *v;
+          if (stats) stats->states_explored = states.size();
+          return f;
+        }
+      }
+      intern(sys.advance(rs, t.event), id, t.event);
+    }
+  }
+
+  if (stats) stats->states_explored = states.size();
+  return std::nullopt;
+}
+
+}  // namespace rtv

@@ -1,0 +1,29 @@
+#include "rtv/verify/induction.hpp"
+
+#include <algorithm>
+
+namespace rtv {
+
+std::vector<DerivedOrdering> InductionResult::constraints() const {
+  std::vector<DerivedOrdering> all = base.constraints();
+  const std::vector<DerivedOrdering> s = step.constraints();
+  all.insert(all.end(), s.begin(), s.end());
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+InductionResult prove_fixed_point(
+    const Module& base_env, const Module& left_abstraction,
+    const Module& component, const Module& context, const Module& abstraction,
+    const std::vector<const SafetyProperty*>& properties,
+    const VerifyOptions& options) {
+  InductionResult r;
+  r.base = check_containment({&base_env, &component, &context}, abstraction,
+                             properties, options);
+  r.step = check_containment({&left_abstraction, &component, &context},
+                             abstraction, properties, options);
+  return r;
+}
+
+}  // namespace rtv

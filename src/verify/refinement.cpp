@@ -1,0 +1,159 @@
+#include "rtv/verify/refinement.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "rtv/base/log.hpp"
+#include "rtv/lazy/refined_system.hpp"
+#include "rtv/verify/failure_search.hpp"
+
+namespace rtv {
+
+const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::kVerified:
+      return "VERIFIED";
+    case Verdict::kCounterexample:
+      return "COUNTEREXAMPLE";
+    case Verdict::kInconclusive:
+      return "INCONCLUSIVE";
+  }
+  return "?";
+}
+
+std::vector<DerivedOrdering> VerificationResult::constraints() const {
+  std::vector<DerivedOrdering> all;
+  for (const RefinementRecord& r : records)
+    all.insert(all.end(), r.orderings.begin(), r.orderings.end());
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+VerificationResult verify_modules(
+    const std::vector<const Module*>& modules,
+    const std::vector<const SafetyProperty*>& properties,
+    const VerifyOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  VerificationResult result;
+
+  ComposeOptions copts;
+  copts.track_chokes = options.track_chokes;
+  copts.max_states = options.max_states;
+  const Composition comp = compose(modules, copts);
+  result.composed_states = comp.ts.num_states();
+  if (comp.truncated) {
+    result.message = "composition truncated; verdict unavailable";
+    return result;
+  }
+  RTV_INFO << "composed " << comp.ts.num_states() << " states, "
+           << comp.chokes.size() << " potential refusals";
+
+  RefinedSystem refined(comp.ts);
+  refined.enable_age_rule(options.structural_rule);
+  refined.set_max_waves(options.max_waves);
+  refined.set_chokes(comp.chokes);
+
+  std::string last_signature;
+  for (std::size_t iter = 0; iter <= options.max_refinements; ++iter) {
+    FailureSearchStats stats;
+    const auto failure =
+        find_failure(refined, comp.chokes, properties, options.max_states, &stats);
+    result.final_states_explored = stats.states_explored;
+    if (stats.truncated) {
+      result.message = "state budget exhausted during failure search";
+      break;
+    }
+    if (!failure) {
+      result.verdict = Verdict::kVerified;
+      result.message = "no failure reachable under derived timing constraints";
+      break;
+    }
+
+    const TraceTimingModel model(comp.ts, failure->trace, failure->virtual_event);
+    if (model.consistent()) {
+      result.verdict = Verdict::kCounterexample;
+      result.counterexample = failure->trace;
+      std::ostringstream os;
+      os << failure->description << " via "
+         << failure->trace.to_string(comp.ts);
+      if (failure->virtual_event.valid())
+        os << " then " << comp.ts.label(failure->virtual_event);
+      result.counterexample_text = os.str();
+      result.message = "timing-consistent failure: " + failure->description;
+      break;
+    }
+
+    if (iter == options.max_refinements) {
+      result.message = "refinement budget exhausted";
+      break;
+    }
+
+    const auto window = model.find_ban_window();
+    if (!window) {
+      // Cannot happen: an inconsistent trace always yields a window.
+      result.message = "internal: inconsistent trace without ban window";
+      break;
+    }
+
+    RefinementRecord rec;
+    rec.iteration = static_cast<int>(iter) + 1;
+    rec.failure = failure->description;
+    rec.from_start = window->from_start;
+    rec.orderings = model.explain(*window);
+
+    // Preferred refinement: activate the derived orderings as relative
+    // timing constraints (justified per state by the enabling-instant
+    // matrix).  Fall back to banning the exact window when no new ordering
+    // emerges or the same failure keeps recurring.
+    std::string signature = failure->description;
+    for (const TraceStep& st : failure->trace.steps)
+      signature += "|" + comp.ts.label(st.event);
+    bool progressed = false;
+    for (const DerivedOrdering& o : rec.orderings) {
+      const EventId before = comp.ts.event_by_label(o.before);
+      const EventId after = comp.ts.event_by_label(o.after);
+      if (before.valid() && after.valid() &&
+          refined.activate_pair(before, after)) {
+        progressed = true;
+        RTV_INFO << "refinement " << rec.iteration << ": " << rec.failure
+                 << " -> constraint " << o.before << " before " << o.after;
+      }
+    }
+    if (!progressed || signature == last_signature) {
+      rec.used_window = true;
+      BanObserver obs;
+      obs.from_start = window->from_start;
+      obs.anchor_state = model.state_at(window->anchor_point);
+      for (int k = window->anchor_point; k <= window->last_point; ++k) {
+        obs.window.push_back(model.fired(k));
+        rec.window_labels.push_back(comp.ts.label(model.fired(k)));
+      }
+      rec.anchor = window->from_start
+                       ? std::string("run start")
+                       : "state " + comp.describe_state(obs.anchor_state);
+      {
+        std::ostringstream os;
+        os << "ban[";
+        for (std::size_t i = 0; i < rec.window_labels.size(); ++i) {
+          if (i) os << " ";
+          os << rec.window_labels[i];
+        }
+        os << "] @ " << rec.anchor;
+        obs.description = os.str();
+      }
+      RTV_INFO << "refinement " << rec.iteration << ": " << rec.failure
+               << " -> " << obs.description;
+      refined.add_observer(std::move(obs));
+    }
+    last_signature = std::move(signature);
+    result.records.push_back(std::move(rec));
+    result.refinements = static_cast<int>(iter) + 1;
+  }
+
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return result;
+}
+
+}  // namespace rtv

@@ -1,0 +1,73 @@
+#include "rtv/verify/report.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace rtv {
+
+std::string format_report(const std::string& title,
+                          const VerificationResult& result) {
+  std::ostringstream os;
+  os << "== " << title << " ==\n";
+  os << "verdict:      " << to_string(result.verdict) << "\n";
+  os << "refinements:  " << result.refinements << "\n";
+  os << "composed:     " << result.composed_states << " states\n";
+  os << "explored:     " << result.final_states_explored
+     << " refined states (final iteration)\n";
+  os << "time:         " << std::fixed << std::setprecision(3) << result.seconds
+     << " s\n";
+  if (!result.message.empty()) os << "note:         " << result.message << "\n";
+  if (result.counterexample) {
+    os << "counterexample: " << result.counterexample_text << "\n";
+  }
+  for (const RefinementRecord& r : result.records) {
+    os << "  iter " << std::setw(3) << r.iteration << ": " << r.failure << "\n";
+    os << "           banned [";
+    for (std::size_t i = 0; i < r.window_labels.size(); ++i) {
+      if (i) os << " ";
+      os << r.window_labels[i];
+    }
+    os << "] anchored at " << (r.from_start ? "run start" : r.anchor) << "\n";
+    for (const DerivedOrdering& o : r.orderings) {
+      os << "           constraint: " << o.before << " before " << o.after
+         << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string format_constraints(const VerificationResult& result) {
+  std::ostringstream os;
+  for (const DerivedOrdering& o : result.constraints()) {
+    os << o.before << " before " << o.after << "\n";
+  }
+  return os.str();
+}
+
+ExperimentRow summarize(const std::string& name, const VerificationResult& r) {
+  ExperimentRow row;
+  row.name = name;
+  row.verdict = r.verdict;
+  row.seconds = r.seconds;
+  row.refinements = r.refinements;
+  row.states = r.composed_states;
+  return row;
+}
+
+std::string format_table(const std::vector<ExperimentRow>& rows) {
+  std::ostringstream os;
+  os << std::left << std::setw(44) << "Experiment" << std::setw(16) << "Verdict"
+     << std::setw(12) << "CPU time" << std::setw(13) << "Refinements"
+     << "States\n";
+  os << std::string(95, '-') << "\n";
+  for (const ExperimentRow& r : rows) {
+    std::ostringstream secs;
+    secs << std::fixed << std::setprecision(3) << r.seconds << " s";
+    os << std::left << std::setw(44) << r.name << std::setw(16)
+       << to_string(r.verdict) << std::setw(12) << secs.str() << std::setw(13)
+       << r.refinements << r.states << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rtv

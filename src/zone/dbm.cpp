@@ -1,0 +1,122 @@
+#include "rtv/zone/dbm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace rtv {
+
+namespace {
+Time add_weights(Time a, Time b) {
+  if (a >= kTimeInfinity || b >= kTimeInfinity) return kTimeInfinity;
+  return a + b;
+}
+}  // namespace
+
+Dbm::Dbm(std::size_t clocks) : n_(clocks + 1), m_(n_ * n_, kTimeInfinity) {
+  for (std::size_t i = 0; i < n_; ++i) m_[i * n_ + i] = 0;
+  // x_i >= 0:  0 - x_i <= 0.
+  for (std::size_t i = 1; i < n_; ++i) m_[0 * n_ + i] = 0;
+}
+
+Dbm Dbm::zero(std::size_t clocks) {
+  Dbm d(clocks);
+  for (std::size_t i = 0; i < d.n_; ++i)
+    for (std::size_t j = 0; j < d.n_; ++j) d.m_[i * d.n_ + j] = 0;
+  return d;
+}
+
+void Dbm::constrain(std::size_t i, std::size_t j, Time w) {
+  assert(i < n_ && j < n_);
+  if (w < m_[i * n_ + j]) m_[i * n_ + j] = w;
+}
+
+bool Dbm::canonicalize() {
+  for (std::size_t k = 0; k < n_; ++k) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      const Time dik = m_[i * n_ + k];
+      if (dik >= kTimeInfinity) continue;
+      for (std::size_t j = 0; j < n_; ++j) {
+        const Time v = add_weights(dik, m_[k * n_ + j]);
+        if (v < m_[i * n_ + j]) m_[i * n_ + j] = v;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (m_[i * n_ + i] < 0) {
+      empty_ = true;
+      return false;
+    }
+  }
+  return true;
+}
+
+void Dbm::up() {
+  for (std::size_t i = 1; i < n_; ++i) m_[i * n_ + 0] = kTimeInfinity;
+}
+
+Dbm Dbm::remap(const std::vector<std::size_t>& source) const {
+  // New index i maps to old index old_of(i); fresh clocks (source == 0)
+  // copy the zero clock, which makes them exactly 0 relative to everything.
+  Dbm out(source.size());
+  auto old_of = [&](std::size_t i) {
+    if (i == 0) return std::size_t{0};
+    const std::size_t s = source[i - 1];
+    assert(s < n_);
+    return s;
+  };
+  for (std::size_t i = 0; i < out.n_; ++i)
+    for (std::size_t j = 0; j < out.n_; ++j)
+      out.m_[i * out.n_ + j] = m_[old_of(i) * n_ + old_of(j)];
+  for (std::size_t i = 0; i < out.n_; ++i) out.m_[i * out.n_ + i] = 0;
+  out.empty_ = empty_;
+  return out;
+}
+
+Dbm Dbm::restrict_and_extend(const std::vector<std::size_t>& keep,
+                             std::size_t fresh) const {
+  std::vector<std::size_t> source = keep;
+  source.insert(source.end(), fresh, 0);
+  return remap(source);
+}
+
+bool Dbm::subset_of(const Dbm& other) const {
+  assert(n_ == other.n_);
+  for (std::size_t i = 0; i < n_ * n_; ++i)
+    if (m_[i] > other.m_[i]) return false;
+  return true;
+}
+
+void Dbm::extrapolate(const std::vector<Time>& max_const) {
+  assert(max_const.size() == n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (i == j) continue;
+      Time& v = m_[i * n_ + j];
+      if (v >= kTimeInfinity) continue;
+      if (i != 0 && v > max_const[i]) {
+        v = kTimeInfinity;
+      } else if (j != 0 && v < -max_const[j]) {
+        v = -max_const[j];
+      }
+    }
+  }
+}
+
+std::string Dbm::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      const Time v = m_[i * n_ + j];
+      if (v >= kTimeInfinity) {
+        os << "   inf";
+      } else {
+        os << " " << units_from_ticks(v);
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rtv

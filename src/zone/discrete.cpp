@@ -1,0 +1,197 @@
+#include "rtv/zone/discrete.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <unordered_map>
+
+#include "rtv/base/log.hpp"
+
+namespace rtv {
+
+namespace {
+
+struct Config {
+  StateId state;
+  std::vector<std::uint16_t> ages;  ///< parallel to the clocked-event list
+
+  friend bool operator==(const Config& a, const Config& b) {
+    return a.state == b.state && a.ages == b.ages;
+  }
+};
+
+struct ConfigHash {
+  std::size_t operator()(const Config& c) const noexcept {
+    std::size_t h = std::hash<StateId>()(c.state);
+    for (std::uint16_t a : c.ages)
+      h ^= std::hash<std::uint16_t>()(a) + 0x9e3779b97f4a7c15ull + (h << 6) +
+           (h >> 2);
+    return h;
+  }
+};
+
+}  // namespace
+
+DiscreteVerifyResult discrete_explore(
+    const TransitionSystem& ts,
+    const std::vector<const SafetyProperty*>& properties,
+    std::span<const ChokeRecord> chokes, const DiscreteVerifyOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  DiscreteVerifyResult result;
+
+  std::unordered_map<StateId::underlying_type, std::vector<const ChokeRecord*>>
+      chokes_at;
+  for (const ChokeRecord& c : chokes) chokes_at[c.state.value()].push_back(&c);
+
+  auto pseudo_enabled = [&](StateId s) {
+    std::vector<EventId> out = ts.enabled_events(s);
+    const auto it = chokes_at.find(s.value());
+    if (it != chokes_at.end()) {
+      for (const ChokeRecord* c : it->second) out.push_back(c->event);
+      std::sort(out.begin(), out.end());
+      out.erase(std::unique(out.begin(), out.end()), out.end());
+    }
+    return out;
+  };
+
+  // Ages saturate: beyond the upper bound (or the lower bound for
+  // unbounded events) more age is indistinguishable.
+  auto saturation = [&](EventId e) -> Time {
+    const DelayInterval d = ts.delay(e);
+    return d.upper_bounded() ? d.hi() : d.lo();
+  };
+
+  std::unordered_map<Config, bool, ConfigHash> seen;
+  std::deque<Config> queue;
+  std::vector<bool> discrete_seen(ts.num_states(), false);
+  std::size_t discrete_count = 0;
+
+  auto push = [&](Config c) {
+    if (seen.emplace(c, true).second) {
+      if (!discrete_seen[c.state.value()]) {
+        discrete_seen[c.state.value()] = true;
+        ++discrete_count;
+      }
+      queue.push_back(std::move(c));
+    }
+  };
+
+  {
+    Config init;
+    init.state = ts.initial();
+    init.ages.assign(pseudo_enabled(init.state).size(), 0);
+    push(std::move(init));
+  }
+
+  auto finish = [&](DiscreteVerifyResult r) {
+    r.states_explored = seen.size();
+    r.discrete_states = discrete_count;
+    r.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return r;
+  };
+
+  while (!queue.empty()) {
+    if (seen.size() > options.max_states) {
+      result.truncated = true;
+      RTV_WARN << "discrete exploration truncated at " << seen.size();
+      break;
+    }
+    const Config cfg = queue.front();
+    queue.pop_front();
+    const std::vector<EventId> clocked = pseudo_enabled(cfg.state);
+    const std::vector<EventId> raw_enabled = ts.enabled_events(cfg.state);
+    const PropertyContext ctx{ts, cfg.state, raw_enabled};
+
+    for (const SafetyProperty* p : properties) {
+      if (auto v = p->check_state(ctx)) {
+        result.violated = true;
+        result.description = *v;
+        return finish(result);
+      }
+    }
+
+    auto age_of = [&](EventId e) -> Time {
+      const auto it = std::lower_bound(clocked.begin(), clocked.end(), e);
+      return cfg.ages[static_cast<std::size_t>(it - clocked.begin())];
+    };
+
+    // Chokes firable now?
+    if (auto it = chokes_at.find(cfg.state.value()); it != chokes_at.end()) {
+      for (const ChokeRecord* c : it->second) {
+        if (age_of(c->event) >= ts.delay(c->event).lo()) {
+          result.violated = true;
+          result.description = "refusal: output '" + ts.label(c->event) +
+                               "' not accepted (containment violation)";
+          return finish(result);
+        }
+      }
+    }
+
+    // Delay step: one tick, if no bounded deadline is overrun.
+    {
+      bool can_delay = true;
+      for (std::size_t i = 0; i < clocked.size(); ++i) {
+        const DelayInterval d = ts.delay(clocked[i]);
+        if (d.upper_bounded() && cfg.ages[i] + 1 > d.hi()) {
+          can_delay = false;
+          break;
+        }
+      }
+      if (can_delay && !clocked.empty()) {
+        Config next = cfg;
+        for (std::size_t i = 0; i < clocked.size(); ++i) {
+          const Time cap = saturation(clocked[i]);
+          if (next.ages[i] < cap) ++next.ages[i];
+        }
+        push(std::move(next));
+      }
+    }
+
+    // Firing steps.
+    for (const Transition& t : ts.transitions_from(cfg.state)) {
+      if (age_of(t.event) < ts.delay(t.event).lo()) continue;
+      const std::vector<EventId> succ_enabled = ts.enabled_events(t.target);
+      for (const SafetyProperty* p : properties) {
+        if (auto v = p->check_event(ctx, t.event, t.target, succ_enabled)) {
+          result.violated = true;
+          result.description = *v;
+          return finish(result);
+        }
+      }
+      const std::vector<EventId> succ_clocked = pseudo_enabled(t.target);
+      Config next;
+      next.state = t.target;
+      next.ages.assign(succ_clocked.size(), 0);
+      for (std::size_t i = 0; i < succ_clocked.size(); ++i) {
+        const EventId e = succ_clocked[i];
+        if (e == t.event) continue;  // refired: fresh age
+        const auto it = std::lower_bound(clocked.begin(), clocked.end(), e);
+        if (it != clocked.end() && *it == e) {
+          next.ages[i] =
+              cfg.ages[static_cast<std::size_t>(it - clocked.begin())];
+        }
+      }
+      push(std::move(next));
+    }
+  }
+
+  return finish(result);
+}
+
+DiscreteVerifyResult discrete_verify(
+    const std::vector<const Module*>& modules,
+    const std::vector<const SafetyProperty*>& properties,
+    const DiscreteVerifyOptions& options) {
+  ComposeOptions copts;
+  copts.track_chokes = options.track_chokes;
+  copts.max_states = options.max_states;
+  const Composition comp = compose(modules, copts);
+  DiscreteVerifyResult r =
+      discrete_explore(comp.ts, properties, comp.chokes, options);
+  if (comp.truncated) r.truncated = true;
+  return r;
+}
+
+}  // namespace rtv

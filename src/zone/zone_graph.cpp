@@ -1,0 +1,236 @@
+#include "rtv/zone/zone_graph.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <unordered_map>
+
+#include "rtv/base/log.hpp"
+
+namespace rtv {
+
+namespace {
+
+struct ZoneNode {
+  StateId state;
+  std::vector<EventId> clocks;  ///< sorted; clock k+1 tracks clocks[k]
+  Dbm zone{0};
+  std::ptrdiff_t parent = -1;
+  EventId via = EventId::invalid();
+};
+
+/// Key: discrete state (clock list is determined by the state itself).
+using WaitIndex = std::unordered_map<StateId::underlying_type, std::vector<std::size_t>>;
+
+}  // namespace
+
+ZoneVerifyResult zone_explore(const TransitionSystem& ts,
+                              const std::vector<const SafetyProperty*>& properties,
+                              std::span<const ChokeRecord> chokes,
+                              const ZoneVerifyOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  ZoneVerifyResult result;
+
+  std::unordered_map<StateId::underlying_type, std::vector<const ChokeRecord*>>
+      chokes_at;
+  for (const ChokeRecord& c : chokes) chokes_at[c.state.value()].push_back(&c);
+
+  // Clocks are tracked for "pseudo-enabled" events: composed-enabled ones
+  // plus choked (refused) outputs, which are enabled in the implementation
+  // even though the composed graph has no transition for them.
+  auto pseudo_enabled = [&](StateId s) {
+    std::vector<EventId> out = ts.enabled_events(s);
+    const auto it = chokes_at.find(s.value());
+    if (it != chokes_at.end()) {
+      for (const ChokeRecord* c : it->second) out.push_back(c->event);
+      std::sort(out.begin(), out.end());
+      out.erase(std::unique(out.begin(), out.end()), out.end());
+    }
+    return out;
+  };
+
+  // Per-event extrapolation constant.
+  std::vector<Time> event_const(ts.num_events());
+  for (std::size_t i = 0; i < ts.num_events(); ++i) {
+    const DelayInterval d =
+        ts.delay(EventId(static_cast<EventId::underlying_type>(i)));
+    event_const[i] = d.upper_bounded() ? d.hi() : d.lo();
+  }
+
+  std::vector<ZoneNode> nodes;
+  WaitIndex stored;
+  std::deque<std::size_t> queue;
+  std::vector<bool> discrete_seen(ts.num_states(), false);
+  std::size_t discrete_count = 0;
+
+  auto unwind_labels = [&](std::ptrdiff_t leaf) {
+    std::vector<std::string> out;
+    std::ptrdiff_t cur = leaf;
+    while (cur >= 0 && nodes[static_cast<std::size_t>(cur)].parent >= 0) {
+      out.push_back(ts.label(nodes[static_cast<std::size_t>(cur)].via));
+      cur = nodes[static_cast<std::size_t>(cur)].parent;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+  };
+
+  auto add_node = [&](ZoneNode node) -> std::optional<std::size_t> {
+    // Subsumption against stored zones of the same discrete state.
+    auto& bucket = stored[node.state.value()];
+    for (std::size_t idx : bucket) {
+      const ZoneNode& other = nodes[idx];
+      if (other.clocks == node.clocks && node.zone.subset_of(other.zone))
+        return std::nullopt;
+    }
+    nodes.push_back(std::move(node));
+    const std::size_t id = nodes.size() - 1;
+    bucket.push_back(id);
+    queue.push_back(id);
+    if (!discrete_seen[nodes[id].state.value()]) {
+      discrete_seen[nodes[id].state.value()] = true;
+      ++discrete_count;
+    }
+    return id;
+  };
+
+  // Initial node: all initially enabled events at clock 0.
+  {
+    ZoneNode init;
+    init.state = ts.initial();
+    init.clocks = pseudo_enabled(init.state);
+    init.zone = Dbm::zero(init.clocks.size());
+    init.zone.canonicalize();
+    add_node(std::move(init));
+  }
+
+  auto finish = [&](ZoneVerifyResult r) {
+    r.zones_explored = nodes.size();
+    r.discrete_states = discrete_count;
+    r.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return r;
+  };
+
+  while (!queue.empty()) {
+    if (nodes.size() > options.max_zones) {
+      result.truncated = true;
+      RTV_WARN << "zone exploration truncated at " << nodes.size();
+      break;
+    }
+    const std::size_t id = queue.front();
+    queue.pop_front();
+    // Copy: nodes may reallocate during expansion.
+    const ZoneNode node = nodes[id];
+    const std::vector<EventId> raw_enabled = ts.enabled_events(node.state);
+    const PropertyContext ctx{ts, node.state, raw_enabled};
+
+    for (const SafetyProperty* p : properties) {
+      if (auto v = p->check_state(ctx)) {
+        result.violated = true;
+        result.description = *v;
+        result.trace_labels = unwind_labels(static_cast<std::ptrdiff_t>(id));
+        return finish(result);
+      }
+    }
+
+    const std::size_t k = node.clocks.size();
+    auto clock_of = [&](EventId e) -> std::size_t {
+      const auto it = std::lower_bound(node.clocks.begin(), node.clocks.end(), e);
+      return static_cast<std::size_t>(it - node.clocks.begin()) + 1;
+    };
+
+    // Delay closure under the location invariant (maximal progress).
+    Dbm delayed = node.zone;
+    delayed.up();
+    for (std::size_t c = 0; c < k; ++c) {
+      const DelayInterval d = ts.delay(node.clocks[c]);
+      if (d.upper_bounded()) delayed.constrain(c + 1, 0, d.hi());
+    }
+    delayed.canonicalize();
+
+    auto fireable_zone = [&](EventId e) -> std::optional<Dbm> {
+      Dbm fire = delayed;
+      if (fire.empty()) return std::nullopt;
+      const DelayInterval d = ts.delay(e);
+      // x_e >= lo:  0 - x_e <= -lo.
+      fire.constrain(0, clock_of(e), -d.lo());
+      if (!fire.canonicalize()) return std::nullopt;
+      return fire;
+    };
+
+    // Chokes: refused outputs that are timed-fireable are true violations.
+    if (auto it = chokes_at.find(node.state.value()); it != chokes_at.end()) {
+      for (const ChokeRecord* c : it->second) {
+        if (fireable_zone(c->event)) {
+          result.violated = true;
+          result.description = "refusal: output '" + ts.label(c->event) +
+                               "' not accepted (containment violation)";
+          result.trace_labels = unwind_labels(static_cast<std::ptrdiff_t>(id));
+          result.trace_labels.push_back(ts.label(c->event));
+          return finish(result);
+        }
+      }
+    }
+
+    for (const Transition& t : ts.transitions_from(node.state)) {
+      const auto fire = fireable_zone(t.event);
+      if (!fire) continue;
+
+      const std::vector<EventId> succ_enabled = ts.enabled_events(t.target);
+      const std::vector<EventId> succ_clocked = pseudo_enabled(t.target);
+      for (const SafetyProperty* p : properties) {
+        if (auto v = p->check_event(ctx, t.event, t.target, succ_enabled)) {
+          result.violated = true;
+          result.description = *v;
+          result.trace_labels = unwind_labels(static_cast<std::ptrdiff_t>(id));
+          result.trace_labels.push_back(ts.label(t.event));
+          return finish(result);
+        }
+      }
+
+      // Build the successor zone: persistent events keep clocks, the fired
+      // event and newly enabled events restart at 0.
+      std::vector<std::size_t> source(succ_clocked.size(), 0);
+      for (std::size_t c = 0; c < succ_clocked.size(); ++c) {
+        const EventId e = succ_clocked[c];
+        if (e == t.event) continue;  // fired: fresh clock
+        const auto it =
+            std::lower_bound(node.clocks.begin(), node.clocks.end(), e);
+        if (it != node.clocks.end() && *it == e) {
+          source[c] = static_cast<std::size_t>(it - node.clocks.begin()) + 1;
+        }
+      }
+      ZoneNode succ;
+      succ.state = t.target;
+      succ.clocks = succ_clocked;
+      succ.zone = fire->remap(source);
+      // Extrapolate for termination with unbounded delays.
+      std::vector<Time> consts(succ.clocks.size() + 1, 0);
+      for (std::size_t c = 0; c < succ.clocks.size(); ++c)
+        consts[c + 1] = event_const[succ.clocks[c].value()];
+      succ.zone.extrapolate(consts);
+      succ.zone.canonicalize();
+      if (succ.zone.empty()) continue;
+      succ.parent = static_cast<std::ptrdiff_t>(id);
+      succ.via = t.event;
+      add_node(std::move(succ));
+    }
+  }
+
+  return finish(result);
+}
+
+ZoneVerifyResult zone_verify(const std::vector<const Module*>& modules,
+                             const std::vector<const SafetyProperty*>& properties,
+                             const ZoneVerifyOptions& options) {
+  ComposeOptions copts;
+  copts.track_chokes = options.track_chokes;
+  copts.max_states = options.max_zones;
+  const Composition comp = compose(modules, copts);
+  ZoneVerifyResult r = zone_explore(comp.ts, properties, comp.chokes, options);
+  if (comp.truncated) r.truncated = true;
+  return r;
+}
+
+}  // namespace rtv

@@ -1,0 +1,74 @@
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "rtv/base/log.hpp"
+#include "rtv/ipcmos/experiments.hpp"
+#include "rtv/verify/report.hpp"
+#include "rtv/zone/zone_graph.hpp"
+#include "rtv/circuit/invariants.hpp"
+#include "rtv/sim/simulator.hpp"
+#include "rtv/sim/waveform.hpp"
+
+using namespace rtv;
+using namespace rtv::ipcmos;
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kInfo);
+  const std::string which = argc > 1 ? argv[1] : "all";
+  ExperimentConfig cfg;
+  cfg.verify.max_refinements = std::getenv("MAXREF") ? atoi(getenv("MAXREF")) : 200;
+
+  if (which == "compose") {
+    // Just sizes.
+    const Module stage = make_stage(1);
+    printf("stage states: %zu events: %zu\n", stage.ts().num_states(), stage.ts().num_events());
+    const ModuleSet set = flat_pipeline(1);
+    Composition c = compose(set.ptrs, {true, 2000000});
+    printf("flat1 composed: %zu states, %zu chokes\n", c.ts.num_states(), c.chokes.size());
+    return 0;
+  }
+  if (which == "sim") {
+    const ModuleSet set = flat_pipeline(2);
+    Composition c = compose(set.ptrs, {false, 2000000});
+    printf("flat2 composed: %zu states\n", c.ts.num_states());
+    SimOptions so; so.max_events = 200;
+    SimTrace tr = simulate(c.ts, so);
+    printf("sim events=%zu deadlocked=%d end=%.2f\n", tr.events.size(), tr.deadlocked,
+           units_from_ticks(tr.end_time));
+    for (size_t i = 0; i < tr.events.size() && i < 60; ++i)
+      printf("  %8.2f %s\n", units_from_ticks(tr.events[i].time), tr.events[i].label.c_str());
+    return 0;
+  }
+  if (which == "zone5") {
+    const ModuleSet set = flat_pipeline(1);
+    PersistencyProperty pers;
+    DeadlockFreedom dead;
+    const Netlist nl = make_stage_netlist("I1", linear_channels(1));
+    auto scs = short_circuit_properties(nl);
+    std::vector<const SafetyProperty*> props{&dead, &pers};
+    for (auto& p : scs) props.push_back(p.get());
+    auto r = zone_verify(set.ptrs, props, {});
+    printf("zone5: violated=%d desc=%s zones=%zu discrete=%zu t=%.2fs\n", r.violated,
+           r.description.c_str(), r.zones_explored, r.discrete_states, r.seconds);
+    if (r.violated) {
+      for (auto& l : r.trace_labels) printf(" %s", l.c_str());
+      printf("\n");
+    }
+    return 0;
+  }
+  auto run = [&](int i) {
+    VerificationResult r;
+    switch (i) {
+      case 1: r = experiment1(cfg); break;
+      case 2: r = experiment2(cfg); break;
+      case 3: r = experiment3(cfg); break;
+      case 4: r = experiment4(cfg); break;
+      case 5: r = experiment5(cfg); break;
+    }
+    printf("%s", format_report("experiment " + std::to_string(i), r).c_str());
+  };
+  if (which == "all") { for (int i = 1; i <= 5; ++i) run(i); }
+  else run(atoi(which.c_str()));
+  return 0;
+}

@@ -1,0 +1,117 @@
+#include "rtv/base/bitvec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace rtv {
+namespace {
+
+TEST(BitVec, StartsCleared) {
+  BitVec v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_TRUE(v.none());
+  EXPECT_EQ(v.count(), 0u);
+}
+
+TEST(BitVec, SetAndTest) {
+  BitVec v(70);
+  v.set(0);
+  v.set(63);
+  v.set(64);
+  v.set(69);
+  EXPECT_TRUE(v.test(0));
+  EXPECT_TRUE(v.test(63));
+  EXPECT_TRUE(v.test(64));
+  EXPECT_TRUE(v.test(69));
+  EXPECT_FALSE(v.test(1));
+  EXPECT_EQ(v.count(), 4u);
+}
+
+TEST(BitVec, ResetAndFlip) {
+  BitVec v(10);
+  v.set(3);
+  v.reset(3);
+  EXPECT_FALSE(v.test(3));
+  v.flip(3);
+  EXPECT_TRUE(v.test(3));
+  v.flip(3);
+  EXPECT_FALSE(v.test(3));
+}
+
+TEST(BitVec, AllInitializedConstructorTrimsTail) {
+  BitVec v(66, true);
+  EXPECT_EQ(v.count(), 66u);
+  // Equality with an individually-set vector proves the tail is trimmed.
+  BitVec w(66);
+  for (std::size_t i = 0; i < 66; ++i) w.set(i);
+  EXPECT_EQ(v, w);
+  EXPECT_EQ(v.hash(), w.hash());
+}
+
+TEST(BitVec, SubsetSemantics) {
+  BitVec a(100), b(100);
+  a.set(5);
+  a.set(80);
+  b.set(5);
+  b.set(80);
+  b.set(40);
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_TRUE(a.is_subset_of(a));
+}
+
+TEST(BitVec, BitwiseOps) {
+  BitVec a(70), b(70);
+  a.set(1);
+  a.set(65);
+  b.set(2);
+  b.set(65);
+  BitVec o = a;
+  o |= b;
+  EXPECT_TRUE(o.test(1));
+  EXPECT_TRUE(o.test(2));
+  EXPECT_TRUE(o.test(65));
+  BitVec n = a;
+  n &= b;
+  EXPECT_FALSE(n.test(1));
+  EXPECT_FALSE(n.test(2));
+  EXPECT_TRUE(n.test(65));
+}
+
+TEST(BitVec, ForEachSetVisitsExactlySetBits) {
+  BitVec v(200);
+  const std::vector<std::size_t> bits{0, 7, 63, 64, 127, 128, 199};
+  for (auto b : bits) v.set(b);
+  std::vector<std::size_t> seen;
+  v.for_each_set([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, bits);
+}
+
+TEST(BitVec, OrderingIsTotal) {
+  BitVec a(10), b(10);
+  b.set(0);
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+  EXPECT_FALSE(a < a);
+}
+
+TEST(BitVec, HashDistinguishesTypicalStates) {
+  std::unordered_set<std::size_t> hashes;
+  for (std::size_t i = 0; i < 64; ++i) {
+    BitVec v(64);
+    v.set(i);
+    hashes.insert(v.hash());
+  }
+  EXPECT_EQ(hashes.size(), 64u);
+}
+
+TEST(BitVec, ToString) {
+  BitVec v(4);
+  v.set(1);
+  v.set(3);
+  EXPECT_EQ(v.to_string(), "0101");
+}
+
+}  // namespace
+}  // namespace rtv

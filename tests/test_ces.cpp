@@ -1,0 +1,131 @@
+#include "rtv/timing/ces.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rtv/ts/gallery.hpp"
+#include "rtv/ts/trace.hpp"
+
+namespace rtv {
+namespace {
+
+/// Builds the intro example's failure trace a, c, d (g never enabled, b
+/// pending throughout).
+struct IntroFailure {
+  Module module = gallery::intro_example();
+  Trace trace;
+
+  IntroFailure() {
+    const TransitionSystem& ts = module.ts();
+    const EventId a = ts.event_by_label("a");
+    const EventId c = ts.event_by_label("c");
+    const EventId d = ts.event_by_label("d");
+    StateId s = ts.initial();
+    for (EventId e : {a, c, d}) {
+      TraceStep step;
+      step.state = s;
+      step.event = e;
+      step.enabled = ts.enabled_events(s);
+      trace.steps.push_back(step);
+      s = *ts.successor(s, e);
+    }
+    trace.final_state = s;
+    trace.final_enabled = ts.enabled_events(s);
+  }
+};
+
+TEST(Ces, ExtractionCausality) {
+  IntroFailure f;
+  const Ces ces = extract_ces(f.module.ts(), f.trace);
+  // Events: a, c, d fired; b (and only b) pending at the final state.
+  ASSERT_EQ(ces.size(), 4u);
+  EXPECT_EQ(ces.events[0].label, "a");
+  EXPECT_EQ(ces.events[1].label, "c");
+  EXPECT_EQ(ces.events[2].label, "d");
+  EXPECT_EQ(ces.events[3].label, "b");
+  EXPECT_TRUE(ces.events[3].pending);
+  EXPECT_FALSE(ces.events[0].pending);
+
+  // a is a source; c is triggered by a; d by c; pending b is a source
+  // (concurrent with a from the start).
+  EXPECT_TRUE(ces.events[0].preds.empty());
+  EXPECT_EQ(ces.events[1].preds, (std::vector<int>{0}));
+  EXPECT_EQ(ces.events[2].preds, (std::vector<int>{1}));
+  EXPECT_TRUE(ces.events[3].preds.empty());
+}
+
+TEST(Ces, PendingCanBeExcluded) {
+  IntroFailure f;
+  const Ces ces = extract_ces(f.module.ts(), f.trace, /*include_pending=*/false);
+  EXPECT_EQ(ces.size(), 3u);
+}
+
+TEST(Ces, ConeIncludesAncestorsAndSelf) {
+  IntroFailure f;
+  const Ces ces = extract_ces(f.module.ts(), f.trace);
+  const auto cone = ces.cone(2);  // d
+  EXPECT_EQ(cone, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Ces, FindLabel) {
+  IntroFailure f;
+  const Ces ces = extract_ces(f.module.ts(), f.trace);
+  EXPECT_EQ(ces.find_label("c"), 1);
+  EXPECT_EQ(ces.find_label("zz"), -1);
+}
+
+TEST(Ces, BoundsPropagation) {
+  IntroFailure f;
+  const Ces ces = extract_ces(f.module.ts(), f.trace);
+  const CesBounds b = propagate_bounds(ces);
+  // a in [2.5, 3]; c in a + [1, 2] = [3.5, 5]; d in c + [0, inf).
+  EXPECT_EQ(b.earliest[0], ticks_from_units(2.5));
+  EXPECT_EQ(b.latest[0], ticks_from_units(3));
+  EXPECT_EQ(b.earliest[1], ticks_from_units(3.5));
+  EXPECT_EQ(b.latest[1], ticks_from_units(5));
+  EXPECT_EQ(b.earliest[2], ticks_from_units(3.5));
+  EXPECT_EQ(b.latest[2], kTimeInfinity);
+  // pending b in [1, 2].
+  EXPECT_EQ(b.earliest[3], ticks_from_units(1));
+  EXPECT_EQ(b.latest[3], ticks_from_units(2));
+}
+
+TEST(Ces, ReenabledEventAnchorsAtItsLastFiring) {
+  // x fires twice in a self-loop system: the second occurrence's enabling
+  // window must start after the first firing, making occurrence 1 a
+  // causal predecessor of occurrence 2.
+  TransitionSystem ts;
+  const StateId s0 = ts.add_state();
+  const EventId x = ts.add_event("x", DelayInterval::units(1, 2));
+  ts.add_transition(s0, x, s0);
+  ts.set_initial(s0);
+  Trace trace;
+  for (int i = 0; i < 2; ++i) {
+    TraceStep step;
+    step.state = s0;
+    step.event = x;
+    step.enabled = {x};
+    trace.steps.push_back(step);
+  }
+  trace.final_state = s0;
+  trace.final_enabled = {x};
+
+  const Ces ces = extract_ces(ts, trace);
+  ASSERT_EQ(ces.size(), 3u);  // two firings + one pending re-occurrence
+  EXPECT_TRUE(ces.events[0].preds.empty());
+  EXPECT_EQ(ces.events[1].preds, (std::vector<int>{0}));
+  EXPECT_EQ(ces.events[2].preds, (std::vector<int>{1}));
+  const CesBounds b = propagate_bounds(ces);
+  EXPECT_EQ(b.earliest[1], ticks_from_units(2));
+  EXPECT_EQ(b.latest[1], ticks_from_units(4));
+}
+
+TEST(Ces, ToStringMentionsPending) {
+  IntroFailure f;
+  const Ces ces = extract_ces(f.module.ts(), f.trace);
+  const std::string s = ces.to_string();
+  EXPECT_NE(s.find("pending"), std::string::npos);
+  EXPECT_NE(s.find("a"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtv

@@ -1,0 +1,155 @@
+#include "rtv/ts/compose.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rtv/ts/gallery.hpp"
+
+namespace rtv {
+namespace {
+
+/// Two-state toggler that alternates out+ / out-.
+Module toggler(const std::string& sig, EventKind kind, DelayInterval d) {
+  TransitionSystem ts;
+  const StateId lo = ts.add_state("lo");
+  const StateId hi = ts.add_state("hi");
+  const EventId up = ts.add_event(sig + "+", d, kind);
+  const EventId dn = ts.add_event(sig + "-", d, kind);
+  ts.add_transition(lo, up, hi);
+  ts.add_transition(hi, dn, lo);
+  ts.set_initial(lo);
+  ts.set_signal_names({sig});
+  BitVec v0(1), v1(1);
+  v1.set(0);
+  ts.set_state_valuation(lo, v0);
+  ts.set_state_valuation(hi, v1);
+  return Module(sig + "-toggler", std::move(ts));
+}
+
+/// Accepts "x+" only; refusing "x-" after x+ creates a choke against a
+/// producer that wants to toggle.
+Module one_shot_listener(const std::string& sig) {
+  TransitionSystem ts;
+  const StateId s0 = ts.add_state();
+  const StateId s1 = ts.add_state();
+  const EventId up =
+      ts.add_event(sig + "+", DelayInterval::unbounded(), EventKind::kInput);
+  ts.add_transition(s0, up, s1);
+  ts.set_initial(s0);
+  return Module(sig + "-listener", std::move(ts));
+}
+
+TEST(Compose, IndependentAlphabetsInterleave) {
+  const Module a = toggler("a", EventKind::kOutput, DelayInterval::units(1, 2));
+  const Module b = toggler("b", EventKind::kOutput, DelayInterval::units(1, 2));
+  const Composition c = compose({&a, &b});
+  EXPECT_EQ(c.ts.num_states(), 4u);
+  EXPECT_EQ(c.ts.num_events(), 4u);
+  EXPECT_FALSE(c.truncated);
+}
+
+TEST(Compose, SharedLabelSynchronises) {
+  const Module p = toggler("x", EventKind::kOutput, DelayInterval::units(1, 2));
+  const Module l = one_shot_listener("x");
+  const Composition c = compose({&p, &l});
+  // x+ synchronises; afterwards x- is refused by the listener (it has no
+  // x- in its alphabet, so it does not participate -> x- proceeds freely).
+  const EventId up = c.ts.event_by_label("x+");
+  const EventId dn = c.ts.event_by_label("x-");
+  const StateId s1 = *c.ts.successor(c.ts.initial(), up);
+  EXPECT_TRUE(c.ts.is_enabled(s1, dn));
+  // A second x+ requires the listener again: after x- it is stuck.
+  const StateId s2 = *c.ts.successor(s1, dn);
+  EXPECT_FALSE(c.ts.is_enabled(s2, up));
+}
+
+TEST(Compose, ChokeRecordedWhenListenerRefusesOutput) {
+  // Listener participates in x+ only once; the producer wants to fire x+
+  // again -> choke at the stuck state.
+  TransitionSystem lts;
+  const StateId l0 = lts.add_state();
+  const StateId l1 = lts.add_state();
+  const EventId lup =
+      lts.add_event("x+", DelayInterval::unbounded(), EventKind::kInput);
+  const EventId ldn =
+      lts.add_event("x-", DelayInterval::unbounded(), EventKind::kInput);
+  lts.add_transition(l0, lup, l1);
+  lts.add_transition(l1, ldn, l0);  // accepts one full pulse, then x+ again
+  lts.set_initial(l0);
+  Module listener("listener", std::move(lts));
+
+  // Producer fires x+ x- x+ x- ... but the listener above actually accepts
+  // cyclically; truncate it to refuse the second x+.
+  TransitionSystem l2;
+  const StateId m0 = l2.add_state();
+  const StateId m1 = l2.add_state();
+  const StateId m2 = l2.add_state();
+  l2.add_transition(m0, l2.add_event("x+", DelayInterval::unbounded(), EventKind::kInput), m1);
+  l2.add_transition(m1, l2.add_event("x-", DelayInterval::unbounded(), EventKind::kInput), m2);
+  l2.set_initial(m0);
+  Module once("once", std::move(l2));
+
+  const Module p = toggler("x", EventKind::kOutput, DelayInterval::units(1, 2));
+  ComposeOptions opts;
+  opts.track_chokes = true;
+  const Composition c = compose({&p, &once}, opts);
+  ASSERT_FALSE(c.chokes.empty());
+  EXPECT_EQ(c.ts.label(c.chokes.front().event), "x+");
+  EXPECT_EQ(c.module_names[c.chokes.front().blocker], "once");
+}
+
+TEST(Compose, DelaysIntersectAcrossParticipants) {
+  const Module p = toggler("x", EventKind::kOutput, DelayInterval::units(2, 9));
+  // Listener with a tighter delay annotation on the same label.
+  TransitionSystem lts;
+  const StateId l0 = lts.add_state();
+  const StateId l1 = lts.add_state();
+  const EventId lup =
+      lts.add_event("x+", DelayInterval::units(1, 5), EventKind::kInput);
+  lts.add_transition(l0, lup, l1);
+  lts.set_initial(l0);
+  Module listener("l", std::move(lts));
+
+  const Composition c = compose({&p, &listener});
+  const EventId up = c.ts.event_by_label("x+");
+  EXPECT_EQ(c.ts.delay(up), DelayInterval::units(2, 5));
+}
+
+TEST(Compose, ValuationsMergeBySignalName) {
+  const Module a = toggler("a", EventKind::kOutput, DelayInterval::units(1, 2));
+  const Module b = toggler("b", EventKind::kOutput, DelayInterval::units(1, 2));
+  const Composition c = compose({&a, &b});
+  ASSERT_TRUE(c.ts.has_valuations());
+  const std::size_t ia = c.ts.signal_index("a");
+  const std::size_t ib = c.ts.signal_index("b");
+  const StateId s = *c.ts.successor(c.ts.initial(), c.ts.event_by_label("a+"));
+  EXPECT_TRUE(c.ts.valuation(s).test(ia));
+  EXPECT_FALSE(c.ts.valuation(s).test(ib));
+}
+
+TEST(Compose, OutputKindWinsOverInput) {
+  const Module p = toggler("x", EventKind::kOutput, DelayInterval::units(1, 2));
+  const Module l = one_shot_listener("x");
+  const Composition c = compose({&p, &l});
+  EXPECT_EQ(c.ts.event(c.ts.event_by_label("x+")).kind, EventKind::kOutput);
+}
+
+TEST(Compose, DescribeStateListsComponents) {
+  const Module a = toggler("a", EventKind::kOutput, DelayInterval::units(1, 2));
+  const Module b = toggler("b", EventKind::kOutput, DelayInterval::units(1, 2));
+  const Composition c = compose({&a, &b});
+  const std::string desc = c.describe_state(c.ts.initial());
+  EXPECT_NE(desc.find("a-toggler"), std::string::npos);
+  EXPECT_NE(desc.find("b-toggler"), std::string::npos);
+}
+
+TEST(Compose, TruncationFlag) {
+  const Module a = toggler("a", EventKind::kOutput, DelayInterval::units(1, 2));
+  const Module b = toggler("b", EventKind::kOutput, DelayInterval::units(1, 2));
+  ComposeOptions opts;
+  opts.max_states = 2;
+  const Composition c = compose({&a, &b}, opts);
+  EXPECT_TRUE(c.truncated);
+}
+
+}  // namespace
+}  // namespace rtv

@@ -1,0 +1,113 @@
+#include "rtv/zone/dbm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtv {
+namespace {
+
+TEST(Dbm, InitialZoneIsNonNegativeOrthant) {
+  Dbm d(2);
+  EXPECT_TRUE(d.canonicalize());
+  EXPECT_FALSE(d.empty());
+  // 0 - x_i <= 0 means x_i >= 0.
+  EXPECT_EQ(d.at(0, 1), 0);
+  EXPECT_EQ(d.at(0, 2), 0);
+  EXPECT_EQ(d.at(1, 0), kTimeInfinity);
+}
+
+TEST(Dbm, ZeroZone) {
+  const Dbm d = Dbm::zero(3);
+  for (std::size_t i = 0; i <= 3; ++i)
+    for (std::size_t j = 0; j <= 3; ++j) EXPECT_EQ(d.at(i, j), 0);
+}
+
+TEST(Dbm, ConstrainAndCanonicalize) {
+  Dbm d(2);
+  d.constrain(1, 0, 5);   // x1 <= 5
+  d.constrain(0, 1, -3);  // x1 >= 3
+  d.constrain(2, 1, 1);   // x2 - x1 <= 1
+  ASSERT_TRUE(d.canonicalize());
+  // Derived: x2 <= 6.
+  EXPECT_EQ(d.at(2, 0), 6);
+}
+
+TEST(Dbm, EmptyOnContradiction) {
+  Dbm d(1);
+  d.constrain(1, 0, 2);   // x <= 2
+  d.constrain(0, 1, -3);  // x >= 3
+  EXPECT_FALSE(d.canonicalize());
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(Dbm, UpRemovesUpperBoundsOnly) {
+  Dbm d = Dbm::zero(2);
+  d.canonicalize();
+  d.up();
+  d.canonicalize();
+  EXPECT_EQ(d.at(1, 0), kTimeInfinity);  // x1 unbounded above
+  EXPECT_EQ(d.at(0, 1), 0);              // x1 >= 0 preserved
+  EXPECT_EQ(d.at(1, 2), 0);              // diagonal relation preserved
+  EXPECT_EQ(d.at(2, 1), 0);
+}
+
+TEST(Dbm, SubsetSemantics) {
+  Dbm small(1), big(1);
+  small.constrain(1, 0, 2);
+  small.canonicalize();
+  big.constrain(1, 0, 5);
+  big.canonicalize();
+  EXPECT_TRUE(small.subset_of(big));
+  EXPECT_FALSE(big.subset_of(small));
+}
+
+TEST(Dbm, RemapKeepsRelations) {
+  // Three clocks with x2 - x1 in [1, 1]; keep clocks (2, 1) in swapped
+  // order and add one fresh clock.
+  Dbm d(3);
+  d.constrain(2, 1, 1);
+  d.constrain(1, 2, -1);
+  d.canonicalize();
+  const Dbm r = d.remap({2, 1, 0});  // new1 = old x2, new2 = old x1, new3 fresh
+  EXPECT_EQ(r.at(1, 2), 1);   // x2old - x1old <= 1
+  EXPECT_EQ(r.at(2, 1), -1);  // and >= 1
+  // Fresh clock equals the zero clock.
+  EXPECT_EQ(r.at(3, 0), 0);
+  EXPECT_EQ(r.at(0, 3), 0);
+}
+
+TEST(Dbm, RestrictAndExtend) {
+  Dbm d(2);
+  d.constrain(1, 0, 7);
+  d.canonicalize();
+  const Dbm r = d.restrict_and_extend({1}, 1);
+  EXPECT_EQ(r.clocks(), 2u);
+  EXPECT_EQ(r.at(1, 0), 7);
+  EXPECT_EQ(r.at(2, 0), 0);  // fresh zero clock
+}
+
+TEST(Dbm, ExtrapolationWidensLargeBounds) {
+  Dbm d(1);
+  d.constrain(1, 0, 100);
+  d.constrain(0, 1, -90);
+  d.canonicalize();
+  d.extrapolate({0, 10});  // max constant 10 for clock 1
+  EXPECT_EQ(d.at(1, 0), kTimeInfinity);
+  EXPECT_EQ(d.at(0, 1), -10);
+}
+
+TEST(Dbm, ExtrapolationKeepsSmallBounds) {
+  Dbm d(1);
+  d.constrain(1, 0, 5);
+  d.canonicalize();
+  d.extrapolate({0, 10});
+  EXPECT_EQ(d.at(1, 0), 5);
+}
+
+TEST(Dbm, ToStringDoesNotCrash) {
+  Dbm d(2);
+  d.canonicalize();
+  EXPECT_FALSE(d.to_string().empty());
+}
+
+}  // namespace
+}  // namespace rtv

@@ -1,0 +1,107 @@
+#include "rtv/zone/discrete.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rtv/base/rng.hpp"
+#include "rtv/ts/gallery.hpp"
+#include "rtv/zone/zone_graph.hpp"
+
+namespace rtv {
+namespace {
+
+TEST(Discrete, IntroExampleHolds) {
+  const Module sys = gallery::intro_example();
+  const Module mon = gallery::order_monitor("g", "d");
+  const InvariantProperty bad("g before d", {{"fail", true}});
+  const DiscreteVerifyResult r = discrete_verify({&sys, &mon}, {&bad});
+  EXPECT_FALSE(r.violated);
+  EXPECT_FALSE(r.truncated);
+}
+
+TEST(Discrete, BrokenDelaysViolate) {
+  TransitionSystem ts = gallery::intro_example().ts();
+  ts.set_event_delay(ts.event_by_label("g"), DelayInterval::units(10, 20));
+  ts.set_event_delay(ts.event_by_label("d"), DelayInterval::units(0, 1));
+  const Module sys("broken", std::move(ts));
+  const Module mon = gallery::order_monitor("g", "d");
+  const InvariantProperty bad("g before d", {{"fail", true}});
+  EXPECT_TRUE(discrete_verify({&sys, &mon}, {&bad}).violated);
+}
+
+TEST(Discrete, StateCountScalesWithConstants) {
+  // The same race with 10x larger constants needs ~10x more configs —
+  // the digitization cost the paper alludes to ([8]).
+  const auto count = [](double scale) {
+    const Module m = gallery::diamond("x", DelayInterval::units(1 * scale, 2 * scale),
+                                      "y", DelayInterval::units(1 * scale, 2 * scale));
+    return discrete_verify({&m}, {}).states_explored;
+  };
+  const std::size_t small = count(1);
+  const std::size_t large = count(10);
+  EXPECT_GT(large, 5 * small);
+}
+
+TEST(Discrete, SaturationKeepsUnboundedLoopsFinite) {
+  TransitionSystem ts;
+  const StateId s0 = ts.add_state();
+  const EventId x = ts.add_event("x", DelayInterval::at_least_units(1));
+  ts.add_transition(s0, x, s0);
+  ts.set_initial(s0);
+  const Module m("loop", std::move(ts));
+  const DiscreteVerifyResult r = discrete_verify({&m}, {});
+  EXPECT_FALSE(r.truncated);
+  EXPECT_LT(r.states_explored, 20u);
+}
+
+class DiscreteZoneAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiscreteZoneAgreement, VerdictsMatchOnRandomRaces) {
+  // On the integer grid, digitization is exact: discrete and zone engines
+  // must agree on reachability verdicts.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761u + 99);
+  const Time xlo = static_cast<Time>(rng.below(4)) * kTicksPerUnit;
+  const Time xhi = xlo + static_cast<Time>(1 + rng.below(3)) * kTicksPerUnit;
+  const Time ylo = static_cast<Time>(rng.below(4)) * kTicksPerUnit;
+  const Time yhi = ylo + static_cast<Time>(1 + rng.below(3)) * kTicksPerUnit;
+  const Module m =
+      gallery::diamond("x", DelayInterval(xlo, xhi), "y", DelayInterval(ylo, yhi));
+  const Module mon = gallery::order_monitor("x", "y");
+  const InvariantProperty bad("x first", {{"fail", true}});
+  const DiscreteVerifyResult d = discrete_verify({&m, &mon}, {&bad});
+  const ZoneVerifyResult z = zone_verify({&m, &mon}, {&bad});
+  EXPECT_EQ(d.violated, z.violated)
+      << "x [" << xlo << "," << xhi << "] y [" << ylo << "," << yhi << "]";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiscreteZoneAgreement, ::testing::Range(0, 25));
+
+TEST(Discrete, ChokeDetection) {
+  // Producer pulses x; a one-shot listener refuses the second pulse.
+  TransitionSystem pts;
+  const StateId p0 = pts.add_state();
+  const StateId p1 = pts.add_state();
+  pts.add_transition(p0, pts.add_event("x+", DelayInterval::units(1, 2),
+                                       EventKind::kOutput), p1);
+  pts.add_transition(p1, pts.add_event("x-", DelayInterval::units(1, 2),
+                                       EventKind::kOutput), p0);
+  pts.set_initial(p0);
+  const Module producer("p", std::move(pts));
+
+  TransitionSystem lts;
+  const StateId l0 = lts.add_state();
+  const StateId l1 = lts.add_state();
+  const StateId l2 = lts.add_state();
+  lts.add_transition(l0, lts.add_event("x+", DelayInterval::unbounded(),
+                                       EventKind::kInput), l1);
+  lts.add_transition(l1, lts.add_event("x-", DelayInterval::unbounded(),
+                                       EventKind::kInput), l2);
+  lts.set_initial(l0);
+  const Module once("once", std::move(lts));
+
+  const DiscreteVerifyResult r = discrete_verify({&producer, &once}, {});
+  EXPECT_TRUE(r.violated);
+  EXPECT_NE(r.description.find("refusal"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtv

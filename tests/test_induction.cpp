@@ -1,0 +1,60 @@
+#include "rtv/verify/induction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rtv/circuit/invariants.hpp"
+#include "rtv/ipcmos/experiments.hpp"
+
+namespace rtv {
+namespace {
+
+using namespace rtv::ipcmos;
+
+TEST(Induction, IpcmosPipelineFixedPoint) {
+  // The paper's experiments 3 + 4 as one induction obligation: A_in is a
+  // behavioural fixed point of IN || I || I || ... at any length.
+  const ExperimentConfig cfg;
+  const Module in = make_in_env(cfg.timing);
+  const Module ain1 = make_ain(1);
+  const Module stage = make_stage(1, cfg.timing);
+  const Module aout = make_aout(2);
+  const Module ain2 = make_ain(2);
+
+  DeadlockFreedom dead;
+  PersistencyProperty pers;
+  const Netlist nl = make_stage_netlist("I1", linear_channels(1), cfg.timing.stage);
+  const auto scs = short_circuit_properties(nl);
+  std::vector<const SafetyProperty*> props{&dead, &pers};
+  for (const auto& p : scs) props.push_back(p.get());
+
+  const InductionResult r =
+      prove_fixed_point(in, ain1, stage, aout, ain2, props);
+  EXPECT_TRUE(r.proved());
+  EXPECT_EQ(r.base.verdict, Verdict::kVerified);
+  EXPECT_EQ(r.step.verdict, Verdict::kVerified);
+  EXPECT_FALSE(r.constraints().empty());
+}
+
+TEST(Induction, FailsWhenComponentBreaksAbstraction) {
+  // Slowing Z+ breaks invariant (1); the induction must not go through.
+  ExperimentConfig cfg;
+  cfg.timing.stage.z_rise = DelayInterval::units(9, 12);
+  const Module in = make_in_env(cfg.timing);
+  const Module ain1 = make_ain(1);
+  const Module stage = make_stage(1, cfg.timing);
+  const Module aout = make_aout(2);
+  const Module ain2 = make_ain(2);
+
+  DeadlockFreedom dead;
+  const Netlist nl = make_stage_netlist("I1", linear_channels(1), cfg.timing.stage);
+  const auto scs = short_circuit_properties(nl);
+  std::vector<const SafetyProperty*> props{&dead};
+  for (const auto& p : scs) props.push_back(p.get());
+
+  const InductionResult r =
+      prove_fixed_point(in, ain1, stage, aout, ain2, props);
+  EXPECT_FALSE(r.proved());
+}
+
+}  // namespace
+}  // namespace rtv

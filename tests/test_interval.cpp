@@ -1,0 +1,97 @@
+#include "rtv/base/interval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rtv {
+namespace {
+
+TEST(Interval, TickConversionRoundTrips) {
+  EXPECT_EQ(ticks_from_units(1.0), kTicksPerUnit);
+  EXPECT_EQ(ticks_from_units(0.0), 0);
+  EXPECT_DOUBLE_EQ(units_from_ticks(ticks_from_units(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(units_from_ticks(ticks_from_units(0.25)), 0.25);
+  EXPECT_DOUBLE_EQ(units_from_ticks(ticks_from_units(15.0)), 15.0);
+}
+
+TEST(Interval, QuarterUnitGridIsExact) {
+  // The paper's constants (0.5, 2.5, 15+eps as 15.25) all lie on the grid.
+  for (double v : {0.25, 0.5, 0.75, 2.5, 15.25, 16.0}) {
+    EXPECT_DOUBLE_EQ(units_from_ticks(ticks_from_units(v)), v) << v;
+  }
+}
+
+TEST(Interval, DefaultIsUnbounded) {
+  DelayInterval d;
+  EXPECT_EQ(d.lo(), 0);
+  EXPECT_FALSE(d.upper_bounded());
+  EXPECT_TRUE(d.is_unbounded());
+  EXPECT_TRUE(d.valid());
+}
+
+TEST(Interval, UnitsFactory) {
+  const DelayInterval d = DelayInterval::units(1, 2);
+  EXPECT_EQ(d.lo(), kTicksPerUnit);
+  EXPECT_EQ(d.hi(), 2 * kTicksPerUnit);
+  EXPECT_TRUE(d.upper_bounded());
+  EXPECT_FALSE(d.is_unbounded());
+}
+
+TEST(Interval, AtLeastFactory) {
+  const DelayInterval d = DelayInterval::at_least_units(5);
+  EXPECT_EQ(d.lo(), 5 * kTicksPerUnit);
+  EXPECT_FALSE(d.upper_bounded());
+}
+
+TEST(Interval, ExactlyFactory) {
+  const DelayInterval d = DelayInterval::exactly_units(0.5);
+  EXPECT_EQ(d.lo(), d.hi());
+  EXPECT_EQ(d.lo(), kTicksPerUnit / 2);
+}
+
+TEST(Interval, IntersectTightens) {
+  const DelayInterval a = DelayInterval::units(1, 5);
+  const DelayInterval b = DelayInterval::units(2, 9);
+  const DelayInterval c = a.intersect(b);
+  EXPECT_EQ(c.lo(), 2 * kTicksPerUnit);
+  EXPECT_EQ(c.hi(), 5 * kTicksPerUnit);
+}
+
+TEST(Interval, IntersectWithUnboundedIsIdentity) {
+  const DelayInterval a = DelayInterval::units(1, 5);
+  EXPECT_EQ(a.intersect(DelayInterval::unbounded()), a);
+  EXPECT_EQ(DelayInterval::unbounded().intersect(a), a);
+}
+
+TEST(Interval, EmptyIntersectionIsInvalid) {
+  const DelayInterval a = DelayInterval::units(1, 2);
+  const DelayInterval b = DelayInterval::units(3, 4);
+  EXPECT_FALSE(a.intersect(b).valid());
+}
+
+TEST(Interval, WidenedExpandsBothSides) {
+  const DelayInterval a = DelayInterval::units(2, 4);
+  const DelayInterval w = a.widened(0.5);
+  EXPECT_EQ(w.lo(), kTicksPerUnit);      // 2 * 0.5
+  EXPECT_EQ(w.hi(), 6 * kTicksPerUnit);  // 4 * 1.5
+}
+
+TEST(Interval, WidenedKeepsUnboundedUpper) {
+  const DelayInterval a = DelayInterval::at_least_units(2);
+  EXPECT_FALSE(a.widened(0.5).upper_bounded());
+}
+
+TEST(Interval, WidenedClampsLowerAtZero) {
+  const DelayInterval a = DelayInterval::units(1, 2);
+  EXPECT_EQ(a.widened(2.0).lo(), 0);
+}
+
+TEST(Interval, StreamFormatting) {
+  std::ostringstream os;
+  os << DelayInterval::units(1, 2) << " " << DelayInterval::at_least_units(5);
+  EXPECT_EQ(os.str(), "[1,2] [5,inf)");
+}
+
+}  // namespace
+}  // namespace rtv

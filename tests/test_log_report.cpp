@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "rtv/base/log.hpp"
+#include "rtv/verify/report.hpp"
+
+namespace rtv {
+namespace {
+
+TEST(Log, LevelGating) {
+  const LogLevel prev = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Below-threshold macro bodies are not evaluated.
+  int evaluated = 0;
+  RTV_DEBUG << "never " << ++evaluated;
+  EXPECT_EQ(evaluated, 0);
+  set_log_level(LogLevel::kDebug);
+  RTV_DEBUG << "yes " << ++evaluated;
+  EXPECT_EQ(evaluated, 1);
+  set_log_level(prev);
+}
+
+TEST(Report, TableAlignsColumns) {
+  ExperimentRow a;
+  a.name = "short";
+  a.verdict = Verdict::kVerified;
+  a.seconds = 1.5;
+  a.refinements = 3;
+  a.states = 42;
+  ExperimentRow b;
+  b.name = "a much longer experiment name here";
+  b.verdict = Verdict::kCounterexample;
+  const std::string t = format_table({a, b});
+  EXPECT_NE(t.find("VERIFIED"), std::string::npos);
+  EXPECT_NE(t.find("COUNTEREXAMPLE"), std::string::npos);
+  EXPECT_NE(t.find("1.500 s"), std::string::npos);
+  EXPECT_NE(t.find("42"), std::string::npos);
+  // Header present.
+  EXPECT_NE(t.find("Experiment"), std::string::npos);
+}
+
+TEST(Report, EmptyResultFormats) {
+  VerificationResult r;
+  const std::string s = format_report("empty", r);
+  EXPECT_NE(s.find("INCONCLUSIVE"), std::string::npos);
+  EXPECT_TRUE(format_constraints(r).empty());
+}
+
+TEST(Report, VerdictNames) {
+  EXPECT_STREQ(to_string(Verdict::kVerified), "VERIFIED");
+  EXPECT_STREQ(to_string(Verdict::kCounterexample), "COUNTEREXAMPLE");
+  EXPECT_STREQ(to_string(Verdict::kInconclusive), "INCONCLUSIVE");
+}
+
+TEST(Report, EventKindNames) {
+  EXPECT_STREQ(to_string(EventKind::kInput), "input");
+  EXPECT_STREQ(to_string(EventKind::kOutput), "output");
+  EXPECT_STREQ(to_string(EventKind::kInternal), "internal");
+}
+
+}  // namespace
+}  // namespace rtv

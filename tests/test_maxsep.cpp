@@ -1,0 +1,175 @@
+#include "rtv/timing/maxsep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rtv/base/rng.hpp"
+#include "rtv/timing/orderings.hpp"
+
+namespace rtv {
+namespace {
+
+CesEvent ev(const std::string& label, double lo, double hi,
+            std::vector<int> preds = {}) {
+  CesEvent e;
+  e.label = label;
+  e.delay = hi < 0 ? DelayInterval(ticks_from_units(lo), kTimeInfinity)
+                   : DelayInterval::units(lo, hi);
+  e.preds = std::move(preds);
+  return e;
+}
+
+TEST(MaxSep, ChainSeparation) {
+  // a [1,2] -> b [3,5]: max(t_b - t_a) = 5, max(t_a - t_b) = -3.
+  Ces ces;
+  ces.events = {ev("a", 1, 2), ev("b", 3, 5, {0})};
+  EXPECT_EQ(max_separation(ces, 1, 0).separation, ticks_from_units(5));
+  EXPECT_EQ(max_separation(ces, 0, 1).separation, ticks_from_units(-3));
+  EXPECT_TRUE(always_strictly_before(ces, 0, 1));
+  EXPECT_FALSE(always_strictly_before(ces, 1, 0));
+}
+
+TEST(MaxSep, IndependentSources) {
+  // a [2.5,3] vs b [1,2]: max(t_b - t_a) = 2 - 2.5 = -0.5 => b always first.
+  Ces ces;
+  ces.events = {ev("a", 2.5, 3), ev("b", 1, 2)};
+  EXPECT_EQ(max_separation(ces, 1, 0).separation, ticks_from_units(-0.5));
+  EXPECT_TRUE(always_strictly_before(ces, 1, 0));
+}
+
+TEST(MaxSep, IntroExampleOrdering) {
+  // The paper's introductory property: g always precedes d.
+  // a [2.5,3] -> c [1,2] -> d [0,inf);  b [1,2] -> g [0.5,0.5].
+  Ces ces;
+  ces.events = {ev("a", 2.5, 3), ev("c", 1, 2, {0}), ev("d", 0, -1, {1}),
+                ev("b", 1, 2), ev("g", 0.5, 0.5, {3})};
+  // max(t_g - t_d) = 2.5 - 3.5 = -1 < 0.
+  EXPECT_EQ(max_separation(ces, 4, 2).separation, ticks_from_units(-1));
+  EXPECT_TRUE(always_strictly_before(ces, 4, 2));
+}
+
+TEST(MaxSep, SharedAncestorCorrelation) {
+  // r [0,10] -> x [1,1] and r -> y [2,2]: although r's firing time is very
+  // loose, x and y share it, so t_y - t_x == 1 exactly.
+  Ces ces;
+  ces.events = {ev("r", 0, 10), ev("x", 1, 1, {0}), ev("y", 2, 2, {0})};
+  EXPECT_EQ(max_separation(ces, 2, 1).separation, ticks_from_units(1));
+  EXPECT_EQ(max_separation(ces, 1, 2).separation, ticks_from_units(-1));
+}
+
+TEST(MaxSep, MaxCausalityJoin) {
+  // j waits for both a [1,2] and b [3,4]; j's delay [1,1].
+  // t_j = max(t_a, t_b) + 1 in [4, 5]; max(t_j - t_a) = 5 - 1 = 4.
+  Ces ces;
+  ces.events = {ev("a", 1, 2), ev("b", 3, 4), ev("j", 1, 1, {0, 1})};
+  EXPECT_EQ(max_separation(ces, 2, 0).separation, ticks_from_units(4));
+  // j fires after b by exactly [1,1] when b dominates, but a could fire
+  // later than... a <= 2 < b's min 3, so b always dominates: t_j - t_b = 1.
+  EXPECT_EQ(max_separation(ces, 2, 1).separation, ticks_from_units(1));
+}
+
+TEST(MaxSep, JoinWithGenuineChoice) {
+  // a [1,4], b [2,3], join j [1,1] on both: either may dominate.
+  Ces ces;
+  ces.events = {ev("a", 1, 4), ev("b", 2, 3), ev("j", 1, 1, {0, 1})};
+  // max(t_j - t_b): maximised when a = 4 dominates, b = 2: 4+1-2 = 3.
+  EXPECT_EQ(max_separation(ces, 2, 1).separation, ticks_from_units(3));
+  // max(t_j - t_a): b = 3 dominates, a = 1: 3+1-1 = 3.
+  EXPECT_EQ(max_separation(ces, 2, 0).separation, ticks_from_units(3));
+  EXPECT_GT(max_separation(ces, 2, 0).combinations, 1u);
+}
+
+TEST(MaxSep, UnboundedDelayGivesInfiniteSeparation) {
+  Ces ces;
+  ces.events = {ev("a", 1, -1), ev("b", 1, 2)};
+  EXPECT_EQ(max_separation(ces, 0, 1).separation, kTimeInfinity);
+}
+
+TEST(MaxSep, SelfSeparationIsZero) {
+  Ces ces;
+  ces.events = {ev("a", 1, 2)};
+  EXPECT_EQ(max_separation(ces, 0, 0).separation, 0);
+}
+
+TEST(MaxSep, FallbackBoundIsConservative) {
+  // Force the fallback with max_combinations = 0 on a correlated graph:
+  // the conservative bound must be >= the exact separation.
+  Ces ces;
+  ces.events = {ev("r", 0, 10), ev("x", 1, 1, {0}), ev("y", 2, 2, {0})};
+  const MaxSepResult exact = max_separation(ces, 2, 1);
+  Ces ces2 = ces;
+  // Add a second predecessor pair to create choices, then starve the budget.
+  ces2.events.push_back(ev("j", 1, 2, {1, 2}));
+  const MaxSepResult forced = max_separation(ces2, 3, 1, /*max_combinations=*/0);
+  EXPECT_FALSE(forced.exact);
+  const MaxSepResult true_val = max_separation(ces2, 3, 1);
+  EXPECT_TRUE(true_val.exact);
+  EXPECT_GE(forced.separation, true_val.separation);
+  EXPECT_GE(exact.separation, ticks_from_units(1));
+}
+
+// Property sweep: on random forests, the exact max separation dominates
+// randomly sampled executions and is dominated by the interval bound.
+class MaxSepRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaxSepRandom, SampledSeparationsNeverExceedExact) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  // Random CES: each event picks up to 2 predecessors among earlier events.
+  Ces ces;
+  const int n = 6;
+  for (int i = 0; i < n; ++i) {
+    const double lo = static_cast<double>(rng.below(4));
+    const double hi = lo + static_cast<double>(rng.below(4));
+    std::vector<int> preds;
+    if (i > 0 && rng.chance(0.8)) preds.push_back(static_cast<int>(rng.below(i)));
+    if (i > 1 && rng.chance(0.4)) {
+      const int p = static_cast<int>(rng.below(i));
+      if (std::find(preds.begin(), preds.end(), p) == preds.end())
+        preds.push_back(p);
+    }
+    ces.events.push_back(ev("e" + std::to_string(i), lo, hi, std::move(preds)));
+  }
+  const CesBounds bounds = propagate_bounds(ces);
+
+  // Sample concrete executions.
+  std::vector<Time> t(n);
+  for (int trial = 0; trial < 200; ++trial) {
+    for (int i = 0; i < n; ++i) {
+      Time enab = 0;
+      for (int p : ces.events[i].preds) enab = std::max(enab, t[p]);
+      t[i] = enab + rng.sample_delay(ces.events[i].delay);
+    }
+    for (int a = 0; a < n; ++a) {
+      ASSERT_GE(t[a], bounds.earliest[a]);
+      if (bounds.latest[a] < kTimeInfinity) ASSERT_LE(t[a], bounds.latest[a]);
+      for (int b = 0; b < n; ++b) {
+        const MaxSepResult ms = max_separation(ces, a, b);
+        ASSERT_GE(ms.separation, t[a] - t[b])
+            << "pair (" << a << "," << b << ") trial " << trial;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxSepRandom, ::testing::Range(0, 12));
+
+TEST(CesOrderings, DerivedOrderingsMatchMaxSep) {
+  Ces ces;
+  ces.events = {ev("a", 2.5, 3), ev("c", 1, 2, {0}), ev("d", 0, -1, {1}),
+                ev("b", 1, 2), ev("g", 0.5, 0.5, {3})};
+  const auto orderings = derive_ces_orderings(ces);
+  // Expected: b and g before a, c, d (b <= 2, g <= 2.5 < a >= 2.5 ... only
+  // strict ones count).  At minimum g-before-d must be derived.
+  bool g_before_d = false;
+  for (const CesOrdering& o : orderings) {
+    EXPECT_TRUE(always_strictly_before(ces, o.before, o.after));
+    if (ces.events[static_cast<std::size_t>(o.before)].label == "g" &&
+        ces.events[static_cast<std::size_t>(o.after)].label == "d")
+      g_before_d = true;
+  }
+  EXPECT_TRUE(g_before_d);
+  const std::string text = format_ces_orderings(ces, orderings);
+  EXPECT_NE(text.find("g before d"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtv

@@ -1,0 +1,76 @@
+#include "rtv/base/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtv {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+    (void)c;
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(7), b(8);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(7), 7u);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(2);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    if (v == -3) hit_lo = true;
+    if (v == 3) hit_hi = true;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, UnitInHalfOpenInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, SampleDelayWithinBounds) {
+  Rng rng(4);
+  const DelayInterval d = DelayInterval::units(1, 3);
+  for (int i = 0; i < 500; ++i) {
+    const Time t = rng.sample_delay(d);
+    EXPECT_GE(t, d.lo());
+    EXPECT_LE(t, d.hi());
+  }
+}
+
+TEST(Rng, SampleDelayClampsUnbounded) {
+  Rng rng(5);
+  const DelayInterval d = DelayInterval::at_least_units(2);
+  for (int i = 0; i < 500; ++i) {
+    const Time t = rng.sample_delay(d, /*unbounded_span=*/4 * kTicksPerUnit);
+    EXPECT_GE(t, d.lo());
+    EXPECT_LE(t, d.lo() + 4 * kTicksPerUnit);
+  }
+}
+
+}  // namespace
+}  // namespace rtv

@@ -1,0 +1,179 @@
+#include "rtv/stg/elaborate.hpp"
+#include "rtv/stg/library.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rtv/ts/compose.hpp"
+
+namespace rtv {
+namespace {
+
+TEST(Stg, SimpleCycleElaborates) {
+  Stg stg("cycle");
+  const auto up = stg.add_transition("x", true);
+  const auto dn = stg.add_transition("x", false);
+  stg.chain(up, dn);
+  const PlaceId p = stg.add_place("start", true);
+  stg.arc(p, up);
+  stg.arc(dn, p);
+  const Module m = elaborate(stg);
+  EXPECT_EQ(m.ts().num_states(), 2u);
+  EXPECT_EQ(m.ts().num_events(), 2u);
+  // Signal valuation alternates.
+  const std::size_t xi = m.ts().signal_index("x");
+  EXPECT_FALSE(m.ts().valuation(m.ts().initial()).test(xi));
+  const StateId hi =
+      *m.ts().successor(m.ts().initial(), m.ts().event_by_label("x+"));
+  EXPECT_TRUE(m.ts().valuation(hi).test(xi));
+}
+
+TEST(Stg, ConcurrentTransitionsInterleave) {
+  Stg stg("conc");
+  const auto a = stg.add_transition("a", true);
+  const auto b = stg.add_transition("b", true);
+  const PlaceId pa = stg.add_place("pa", true);
+  const PlaceId pb = stg.add_place("pb", true);
+  stg.arc(pa, a);
+  stg.arc(pb, b);
+  stg.arc(a, stg.add_place("da"));
+  stg.arc(b, stg.add_place("db"));
+  const Module m = elaborate(stg);
+  EXPECT_EQ(m.ts().num_states(), 4u);
+}
+
+TEST(Stg, OneSafetyViolationThrows) {
+  Stg stg("unsafe");
+  const auto a = stg.add_transition("a", true);
+  const PlaceId p0 = stg.add_place("p0", true);
+  const PlaceId p1 = stg.add_place("p1", true);  // already marked
+  stg.arc(p0, a);
+  stg.arc(a, p1);
+  EXPECT_THROW(elaborate(stg), std::runtime_error);
+}
+
+TEST(Stg, InconsistentSignalThrows) {
+  Stg stg("inconsistent");
+  const auto a = stg.add_transition("x", true);
+  stg.set_initial_value("x", true);  // rising while already high
+  const PlaceId p0 = stg.add_place("p0", true);
+  stg.arc(p0, a);
+  stg.arc(a, stg.add_place("p1"));
+  EXPECT_THROW(elaborate(stg), std::runtime_error);
+}
+
+TEST(Stg, DummyTransitionsAllowed) {
+  Stg stg("dummy");
+  const auto d = stg.add_dummy("tau");
+  const PlaceId p0 = stg.add_place("p0", true);
+  stg.arc(p0, d);
+  stg.arc(d, stg.add_place("p1"));
+  const Module m = elaborate(stg);
+  EXPECT_TRUE(m.ts().event_by_label("tau").valid());
+}
+
+TEST(Stg, SameLabelDelaysIntersect) {
+  Stg stg("dup");
+  const auto a1 = stg.add_transition("x", true, DelayInterval::units(1, 5));
+  const auto a2 = stg.add_transition("x", true, DelayInterval::units(2, 9));
+  const PlaceId p0 = stg.add_place("p0", true);
+  const PlaceId p1 = stg.add_place("p1");
+  const PlaceId p2 = stg.add_place("p2");
+  stg.arc(p0, a1);
+  stg.arc(a1, p1);
+  // Make a2 reachable from p1 after a signal consistency fix: x falls first.
+  const auto dn = stg.add_transition("x", false, DelayInterval::units(1, 2));
+  stg.arc(p1, dn);
+  stg.arc(dn, p2);
+  stg.arc(p2, a2);
+  stg.arc(a2, stg.add_place("p3"));
+  const Module m = elaborate(stg);
+  EXPECT_EQ(m.ts().delay(m.ts().event_by_label("x+")),
+            DelayInterval::units(2, 5));
+}
+
+// ---- the paper's environment / abstraction models -------------------------
+
+TEST(StgLibrary, InEnvPulsesAndInterlocks) {
+  const Module in = stg_library::in_module("V", "A");
+  const TransitionSystem& ts = in.ts();
+  const EventId vm = ts.event_by_label("V-");
+  const EventId vp = ts.event_by_label("V+");
+  const EventId ap = ts.event_by_label("A+");
+
+  // Initially only V- can fire (V high, nothing acknowledged yet).
+  EXPECT_EQ(ts.enabled_events(ts.initial()), (std::vector<EventId>{vm}));
+  // After V-: the pulse end V+ and the ack A+ are both possible.
+  const StateId s1 = *ts.successor(ts.initial(), vm);
+  EXPECT_TRUE(ts.is_enabled(s1, vp));
+  EXPECT_TRUE(ts.is_enabled(s1, ap));
+  // No second V- before both V+ and A+ happened.
+  const StateId s2 = *ts.successor(s1, vp);
+  EXPECT_FALSE(ts.is_enabled(s2, vm));
+}
+
+TEST(StgLibrary, OutEnvAcknowledgesOncePerPulse) {
+  const Module out = stg_library::out_module("V", "A");
+  const TransitionSystem& ts = out.ts();
+  const EventId vm = ts.event_by_label("V-");
+  const EventId ap = ts.event_by_label("A+");
+  const EventId am = ts.event_by_label("A-");
+
+  StateId s = ts.initial();
+  s = *ts.successor(s, vm);
+  ASSERT_TRUE(ts.is_enabled(s, ap));
+  s = *ts.successor(s, ap);
+  // A second A+ is not possible before the pulse completes.
+  EXPECT_FALSE(ts.is_enabled(s, ap));
+  EXPECT_TRUE(ts.is_enabled(s, am));
+}
+
+TEST(StgLibrary, AbstractionsComposeWithoutDeadlock) {
+  // Experiment 1's system: A_in || A_out cycles forever.
+  const Module ain = stg_library::ain_module("V", "A");
+  const Module aout = stg_library::aout_module("V", "A");
+  const Composition c = compose({&ain, &aout});
+  EXPECT_GT(c.ts.num_states(), 2u);
+  for (StateId s : c.ts.reachable_states()) {
+    EXPECT_FALSE(c.ts.enabled_events(s).empty()) << "deadlock in Ain||Aout";
+  }
+}
+
+TEST(StgLibrary, AinHoldsValidLowUntilAck) {
+  const Module ain = stg_library::ain_module("V", "A");
+  const TransitionSystem& ts = ain.ts();
+  StateId s = *ts.successor(ts.initial(), ts.event_by_label("V-"));
+  // V+ must wait for A+ (two-phase interlock of Fig. 6).
+  EXPECT_FALSE(ts.is_enabled(s, ts.event_by_label("V+")));
+  s = *ts.successor(s, ts.event_by_label("A+"));
+  EXPECT_TRUE(ts.is_enabled(s, ts.event_by_label("V+")));
+}
+
+TEST(StgLibrary, AoutExpectsValidPlusOnlyAfterAck) {
+  const Module aout = stg_library::aout_module("V", "A");
+  const TransitionSystem& ts = aout.ts();
+  StateId s = *ts.successor(ts.initial(), ts.event_by_label("V-"));
+  EXPECT_FALSE(ts.is_enabled(s, ts.event_by_label("V+")));
+  s = *ts.successor(s, ts.event_by_label("A+"));
+  EXPECT_TRUE(ts.is_enabled(s, ts.event_by_label("V+")));
+}
+
+TEST(StgLibrary, EnvTimingPropagatesToEvents) {
+  stg_library::EnvTiming t;
+  t.ack_rise = DelayInterval::units(3, 7);
+  const Module out = stg_library::out_module("V", "A", t);
+  EXPECT_EQ(out.ts().delay(out.ts().event_by_label("A+")),
+            DelayInterval::units(3, 7));
+}
+
+TEST(StgLibrary, SignalsTracked) {
+  const Module in = stg_library::in_module("V", "A");
+  EXPECT_NE(in.ts().signal_index("V"), static_cast<std::size_t>(-1));
+  EXPECT_NE(in.ts().signal_index("A"), static_cast<std::size_t>(-1));
+  // Initially V high, A low.
+  const BitVec& v = in.ts().valuation(in.ts().initial());
+  EXPECT_TRUE(v.test(in.ts().signal_index("V")));
+  EXPECT_FALSE(v.test(in.ts().signal_index("A")));
+}
+
+}  // namespace
+}  // namespace rtv

@@ -1,0 +1,92 @@
+#include "rtv/ts/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rtv/ts/gallery.hpp"
+
+namespace rtv {
+namespace {
+
+TEST(Trace, ShortestTraceOnChain) {
+  const Module m = gallery::chain({{"a", DelayInterval::units(1, 2)},
+                                   {"b", DelayInterval::units(1, 2)},
+                                   {"c", DelayInterval::units(1, 2)}});
+  const TransitionSystem& ts = m.ts();
+  const StateId last(static_cast<StateId::underlying_type>(ts.num_states() - 1));
+  const auto trace = shortest_trace_to(ts, last);
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->length(), 3u);
+  EXPECT_EQ(trace->labels(ts), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(trace->final_state, last);
+  EXPECT_TRUE(trace->final_enabled.empty());
+}
+
+TEST(Trace, EnablingSetsRecorded) {
+  const Module m = gallery::diamond("x", DelayInterval::units(1, 2), "y",
+                                    DelayInterval::units(1, 2));
+  const TransitionSystem& ts = m.ts();
+  const EventId x = ts.event_by_label("x");
+  const StateId after_x = *ts.successor(ts.initial(), x);
+  const auto trace = shortest_trace_to(ts, after_x);
+  ASSERT_TRUE(trace.has_value());
+  ASSERT_EQ(trace->length(), 1u);
+  // At the initial state both x and y were enabled.
+  EXPECT_EQ(trace->steps[0].enabled.size(), 2u);
+}
+
+TEST(Trace, UnreachableTargetReturnsNothing) {
+  TransitionSystem ts;
+  ts.add_state();
+  const StateId unreachable = ts.add_state();
+  ts.set_initial(StateId(0));
+  EXPECT_FALSE(shortest_trace_to(ts, unreachable).has_value());
+}
+
+TEST(Trace, TraceToInitialIsEmpty) {
+  const Module m = gallery::intro_example();
+  const auto trace = shortest_trace_to(m.ts(), m.ts().initial());
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_TRUE(trace->empty());
+  EXPECT_EQ(trace->final_state, m.ts().initial());
+}
+
+TEST(Trace, ShortestTraceFiringAppendsStep) {
+  const Module m = gallery::intro_example();
+  const TransitionSystem& ts = m.ts();
+  const EventId a = ts.event_by_label("a");
+  const auto trace = shortest_trace_firing(ts, ts.initial(), a);
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->length(), 1u);
+  EXPECT_EQ(trace->steps.back().event, a);
+  EXPECT_EQ(trace->final_state, *ts.successor(ts.initial(), a));
+}
+
+TEST(Trace, ToStringShowsEnablingSets) {
+  const Module m = gallery::chain({{"a", DelayInterval::units(1, 2)}});
+  const auto trace =
+      shortest_trace_to(m.ts(), StateId(1));
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->to_string(m.ts()), "{a} --a--> (final)");
+}
+
+TEST(Trace, BfsFindsShortestOfSeveralPaths) {
+  // s0 -a-> s1 -b-> s3 and s0 -c-> s3: shortest is length 1.
+  TransitionSystem ts;
+  const StateId s0 = ts.add_state();
+  const StateId s1 = ts.add_state();
+  const StateId s3 = ts.add_state();
+  const EventId a = ts.add_event("a");
+  const EventId b = ts.add_event("b");
+  const EventId c = ts.add_event("c");
+  ts.add_transition(s0, a, s1);
+  ts.add_transition(s1, b, s3);
+  ts.add_transition(s0, c, s3);
+  ts.set_initial(s0);
+  const auto trace = shortest_trace_to(ts, s3);
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->length(), 1u);
+  EXPECT_EQ(trace->labels(ts), (std::vector<std::string>{"c"}));
+}
+
+}  // namespace
+}  // namespace rtv

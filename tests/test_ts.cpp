@@ -1,0 +1,160 @@
+#include "rtv/ts/transition_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rtv/ts/gallery.hpp"
+#include "rtv/ts/module.hpp"
+
+namespace rtv {
+namespace {
+
+TEST(TransitionSystem, BuildAndQuery) {
+  TransitionSystem ts;
+  const StateId s0 = ts.add_state("s0");
+  const StateId s1 = ts.add_state("s1");
+  const EventId a = ts.add_event("a", DelayInterval::units(1, 2));
+  ts.add_transition(s0, a, s1);
+  ts.set_initial(s0);
+
+  EXPECT_EQ(ts.num_states(), 2u);
+  EXPECT_EQ(ts.num_events(), 1u);
+  EXPECT_EQ(ts.num_transitions(), 1u);
+  EXPECT_EQ(ts.label(a), "a");
+  EXPECT_EQ(ts.delay(a), DelayInterval::units(1, 2));
+  EXPECT_TRUE(ts.is_enabled(s0, a));
+  EXPECT_FALSE(ts.is_enabled(s1, a));
+  EXPECT_EQ(ts.successor(s0, a), s1);
+  EXPECT_FALSE(ts.successor(s1, a).has_value());
+  EXPECT_EQ(ts.state_name(s1), "s1");
+}
+
+TEST(TransitionSystem, EnsureEventDeduplicates) {
+  TransitionSystem ts;
+  const EventId a1 = ts.ensure_event("x+");
+  const EventId a2 = ts.ensure_event("x+");
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(ts.num_events(), 1u);
+}
+
+TEST(TransitionSystem, EnabledEventsSortedUnique) {
+  TransitionSystem ts;
+  const StateId s0 = ts.add_state();
+  const StateId s1 = ts.add_state();
+  const EventId b = ts.add_event("b");
+  const EventId a = ts.add_event("a");
+  ts.add_transition(s0, b, s1);
+  ts.add_transition(s0, a, s1);
+  ts.add_transition(s0, a, s0);  // nondeterministic duplicate label
+  const auto enabled = ts.enabled_events(s0);
+  ASSERT_EQ(enabled.size(), 2u);
+  EXPECT_TRUE(enabled[0] < enabled[1]);
+}
+
+TEST(TransitionSystem, EventByLabel) {
+  TransitionSystem ts;
+  const EventId a = ts.add_event("ACK+");
+  EXPECT_EQ(ts.event_by_label("ACK+"), a);
+  EXPECT_FALSE(ts.event_by_label("nope").valid());
+}
+
+TEST(TransitionSystem, ReachabilityIgnoresUnreachable) {
+  TransitionSystem ts;
+  const StateId s0 = ts.add_state();
+  const StateId s1 = ts.add_state();
+  ts.add_state();  // unreachable
+  const EventId a = ts.add_event("a");
+  ts.add_transition(s0, a, s1);
+  ts.set_initial(s0);
+  EXPECT_EQ(ts.num_reachable_states(), 2u);
+}
+
+TEST(TransitionSystem, SignalValuations) {
+  TransitionSystem ts;
+  const StateId s0 = ts.add_state();
+  ts.set_signal_names({"x", "y"});
+  BitVec v(2);
+  v.set(1);
+  ts.set_state_valuation(s0, v);
+  EXPECT_TRUE(ts.has_valuations());
+  EXPECT_EQ(ts.signal_index("y"), 1u);
+  EXPECT_EQ(ts.signal_index("zz"), static_cast<std::size_t>(-1));
+  EXPECT_TRUE(ts.valuation(s0).test(1));
+  EXPECT_FALSE(ts.valuation(s0).test(0));
+}
+
+TEST(TransitionLabels, BuildAndParse) {
+  EXPECT_EQ(transition_label("ACK", true), "ACK+");
+  EXPECT_EQ(transition_label("ACK", false), "ACK-");
+  std::string sig;
+  bool rising = false;
+  ASSERT_TRUE(parse_transition_label("VALID-", &sig, &rising));
+  EXPECT_EQ(sig, "VALID");
+  EXPECT_FALSE(rising);
+  EXPECT_FALSE(parse_transition_label("plain", &sig, &rising));
+  EXPECT_FALSE(parse_transition_label("", &sig, &rising));
+}
+
+TEST(Gallery, IntroExampleShape) {
+  const Module m = gallery::intro_example();
+  EXPECT_EQ(m.ts().num_states(), 12u);
+  EXPECT_EQ(m.ts().num_events(), 5u);
+  EXPECT_TRUE(m.ts().initial().valid());
+  // From the initial state both a and b are concurrent.
+  const auto enabled = m.ts().enabled_events(m.ts().initial());
+  EXPECT_EQ(enabled.size(), 2u);
+}
+
+TEST(Gallery, ChainIsLinear) {
+  const Module m = gallery::chain({{"a", DelayInterval::units(1, 2)},
+                                   {"b", DelayInterval::units(3, 4)}});
+  EXPECT_EQ(m.ts().num_states(), 3u);
+  EXPECT_EQ(m.ts().num_transitions(), 2u);
+}
+
+TEST(Gallery, DiamondCommutes) {
+  const Module m = gallery::diamond("x", DelayInterval::units(1, 2), "y",
+                                    DelayInterval::units(1, 2));
+  const TransitionSystem& ts = m.ts();
+  const EventId x = ts.event_by_label("x");
+  const EventId y = ts.event_by_label("y");
+  const StateId via_x = *ts.successor(*ts.successor(ts.initial(), x), y);
+  const StateId via_y = *ts.successor(*ts.successor(ts.initial(), y), x);
+  EXPECT_EQ(via_x, via_y);
+}
+
+TEST(Module, MirrorSwapsKinds) {
+  TransitionSystem ts;
+  const StateId s = ts.add_state();
+  ts.set_initial(s);
+  const EventId i = ts.add_event("in", DelayInterval::unbounded(), EventKind::kInput);
+  const EventId o = ts.add_event("out", DelayInterval::unbounded(), EventKind::kOutput);
+  ts.add_transition(s, i, s);
+  ts.add_transition(s, o, s);
+  Module m("m", std::move(ts));
+  const Module r = m.mirrored("r");
+  EXPECT_EQ(r.kind_of("in"), EventKind::kOutput);
+  EXPECT_EQ(r.kind_of("out"), EventKind::kInput);
+}
+
+TEST(Module, MonitorIsAllInputsUnbounded) {
+  TransitionSystem ts;
+  const StateId s = ts.add_state();
+  ts.set_initial(s);
+  const EventId o =
+      ts.add_event("out", DelayInterval::units(1, 2), EventKind::kOutput);
+  ts.add_transition(s, o, s);
+  Module m("m", std::move(ts));
+  const Module mon = m.as_monitor("m'");
+  EXPECT_EQ(mon.kind_of("out"), EventKind::kInput);
+  EXPECT_TRUE(mon.ts().delay(mon.ts().event_by_label("out")).is_unbounded());
+}
+
+TEST(Module, AlphabetSortedUnique) {
+  const Module m = gallery::intro_example();
+  const auto alpha = m.alphabet();
+  EXPECT_EQ(alpha.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(alpha.begin(), alpha.end()));
+}
+
+}  // namespace
+}  // namespace rtv

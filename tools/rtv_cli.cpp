@@ -1,0 +1,207 @@
+// rtv — command-line front end.
+//
+//   rtv verify   a.g b.g ...   [--no-deadlock] [--no-persistency] [--max-ref N]
+//   rtv simulate a.g b.g ...   [--events N] [--seed S] [--vcd out.vcd] [--signals s1,s2]
+//   rtv dot      a.g           (marking graph as graphviz)
+//   rtv minimize a.g           (bisimulation quotient statistics)
+//   rtv ipcmos                 (the paper's five experiments)
+//
+// All .g inputs use the astg format with the library's `.delay` / `.initial`
+// extensions (see rtv/stg/astg.hpp).  Multiple files compose over their
+// shared signal alphabets.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rtv/ipcmos/experiments.hpp"
+#include "rtv/sim/simulator.hpp"
+#include "rtv/sim/waveform.hpp"
+#include "rtv/stg/astg.hpp"
+#include "rtv/stg/elaborate.hpp"
+#include "rtv/ts/dot.hpp"
+#include "rtv/ts/minimize.hpp"
+#include "rtv/verify/report.hpp"
+
+using namespace rtv;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  rtv verify   <stg.g>... [--no-deadlock] [--no-persistency] [--max-ref N]\n"
+               "  rtv simulate <stg.g>... [--events N] [--seed S] [--vcd FILE] [--signals a,b]\n"
+               "  rtv dot      <stg.g>\n"
+               "  rtv minimize <stg.g>\n"
+               "  rtv ipcmos\n");
+  return 2;
+}
+
+Stg load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return parse_astg(in);
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > start) out.push_back(s.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+struct LoadedModules {
+  std::vector<std::unique_ptr<Module>> owned;
+  std::vector<const Module*> ptrs;
+};
+
+LoadedModules load_all(const std::vector<std::string>& files) {
+  LoadedModules out;
+  for (const std::string& f : files) {
+    out.owned.push_back(std::make_unique<Module>(elaborate(load(f))));
+    out.ptrs.push_back(out.owned.back().get());
+    std::fprintf(stderr, "loaded %s: %zu states, %zu events\n",
+                 out.owned.back()->name().c_str(),
+                 out.owned.back()->ts().num_states(),
+                 out.owned.back()->ts().num_events());
+  }
+  return out;
+}
+
+int cmd_verify(const std::vector<std::string>& files, bool deadlock,
+               bool persistency, std::size_t max_ref) {
+  const LoadedModules mods = load_all(files);
+  DeadlockFreedom dead;
+  PersistencyProperty pers;
+  std::vector<const SafetyProperty*> props;
+  if (deadlock) props.push_back(&dead);
+  if (persistency) props.push_back(&pers);
+  VerifyOptions opts;
+  opts.max_refinements = max_ref;
+  const VerificationResult r = verify_modules(mods.ptrs, props, opts);
+  std::printf("%s", format_report("verify", r).c_str());
+  if (r.verdict == Verdict::kVerified && !r.constraints().empty()) {
+    std::printf("\nrelative timing constraints:\n%s",
+                format_constraints(r).c_str());
+  }
+  return r.verified() ? 0 : 1;
+}
+
+int cmd_simulate(const std::vector<std::string>& files, std::size_t events,
+                 std::uint64_t seed, const std::string& vcd,
+                 const std::vector<std::string>& signals) {
+  const LoadedModules mods = load_all(files);
+  SimOptions opts;
+  opts.max_events = events;
+  opts.seed = seed;
+  const SimTrace t = simulate_modules(mods.ptrs, opts);
+  std::printf("%zu events over %.2f units%s\n", t.events.size(),
+              units_from_ticks(t.end_time), t.deadlocked ? " (deadlock)" : "");
+  for (const SimEvent& e : t.events) {
+    std::printf("  %10.2f  %s\n", units_from_ticks(e.time), e.label.c_str());
+  }
+  TransitionSystem table;
+  table.set_signal_names(t.signal_names);
+  const std::vector<std::string> shown =
+      signals.empty() ? t.signal_names : signals;
+  std::printf("\n%s", ascii_waveform(table, t, shown).c_str());
+  if (!vcd.empty()) {
+    std::ofstream out(vcd);
+    out << to_vcd(table, t, shown);
+    std::printf("VCD written to %s\n", vcd.c_str());
+  }
+  return 0;
+}
+
+int cmd_dot(const std::string& file) {
+  const Module m = elaborate(load(file));
+  std::printf("%s", to_dot(m.ts()).c_str());
+  return 0;
+}
+
+int cmd_minimize(const std::string& file) {
+  const Module m = elaborate(load(file));
+  const MinimizeResult r = minimize(m.ts());
+  std::printf("%s: %zu reachable states -> %zu bisimulation classes\n",
+              m.name().c_str(), m.ts().num_reachable_states(), r.num_blocks);
+  std::printf("%s", to_dot(r.ts).c_str());
+  return 0;
+}
+
+int cmd_ipcmos() {
+  const auto rows = ipcmos::run_all_experiments();
+  std::vector<ExperimentRow> table;
+  for (const auto& row : rows) table.push_back(summarize(row.name, row.result));
+  std::printf("%s", format_table(table).c_str());
+  for (const auto& row : rows) {
+    if (!row.result.verified()) return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  std::vector<std::string> files;
+  bool deadlock = true, persistency = true;
+  std::size_t max_ref = 500, events = 200;
+  std::uint64_t seed = 1;
+  std::string vcd;
+  std::vector<std::string> signals;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--no-deadlock") {
+      deadlock = false;
+    } else if (arg == "--no-persistency") {
+      persistency = false;
+    } else if (arg == "--max-ref") {
+      max_ref = static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--events") {
+      events = static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--seed") {
+      seed = std::stoull(next());
+    } else if (arg == "--vcd") {
+      vcd = next();
+    } else if (arg == "--signals") {
+      signals = split_csv(next());
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  try {
+    if (cmd == "verify" && !files.empty())
+      return cmd_verify(files, deadlock, persistency, max_ref);
+    if (cmd == "simulate" && !files.empty())
+      return cmd_simulate(files, events, seed, vcd, signals);
+    if (cmd == "dot" && files.size() == 1) return cmd_dot(files[0]);
+    if (cmd == "minimize" && files.size() == 1) return cmd_minimize(files[0]);
+    if (cmd == "ipcmos") return cmd_ipcmos();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
