@@ -1,0 +1,14 @@
+# Four-phase handshake, device side: observes req, drives ack.
+# See hs_env.g for the composed verify/simulate command lines.
+.model hs_dev
+.inputs req
+.outputs ack
+.graph
+req+ ack+
+ack+ req-
+req- ack-
+ack- req+
+.marking { <ack-,req+> }
+.delay ack+ 0.5 1.5
+.delay ack- 0.25 0.75
+.end

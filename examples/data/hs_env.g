@@ -1,0 +1,16 @@
+# Four-phase handshake, environment side: drives req, observes ack.
+# Compose with hs_dev.g over the shared {req, ack} alphabet:
+#   rtv verify   examples/data/hs_env.g examples/data/hs_dev.g
+#   rtv simulate examples/data/hs_env.g examples/data/hs_dev.g --events 24
+.model hs_env
+.inputs ack
+.outputs req
+.graph
+req+ ack+
+ack+ req-
+req- ack-
+ack- req+
+.marking { <ack-,req+> }
+.delay req+ 1 2
+.delay req- 0.5 1
+.end

@@ -1,0 +1,12 @@
+# The simplest timed STG: a single output pulsing forever.
+# Try:  rtv dot examples/data/toggle.g
+#       rtv minimize examples/data/toggle.g
+.model toggle
+.outputs x
+.graph
+x+ x-
+x- x+
+.marking { <x-,x+> }
+.delay x+ 1 2
+.delay x- 1 2
+.end

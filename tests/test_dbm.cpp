@@ -109,5 +109,87 @@ TEST(Dbm, ToStringDoesNotCrash) {
   EXPECT_FALSE(d.to_string().empty());
 }
 
+namespace {
+// Entrywise equality including the implicit zero clock.
+bool same_matrix(const Dbm& a, const Dbm& b) {
+  if (a.clocks() != b.clocks()) return false;
+  for (std::size_t i = 0; i <= a.clocks(); ++i)
+    for (std::size_t j = 0; j <= a.clocks(); ++j)
+      if (a.at(i, j) != b.at(i, j)) return false;
+  return true;
+}
+}  // namespace
+
+TEST(Dbm, CanonicalizeIsIdempotent) {
+  Dbm d(3);
+  d.constrain(1, 0, 5);
+  d.constrain(0, 1, -3);
+  d.constrain(2, 1, 1);
+  d.constrain(3, 2, 2);
+  ASSERT_TRUE(d.canonicalize());
+  const Dbm once = d;
+  ASSERT_TRUE(d.canonicalize());
+  EXPECT_TRUE(same_matrix(once, d));
+}
+
+TEST(Dbm, UpThenCanonicalizeIsIdempotent) {
+  Dbm d = Dbm::zero(2);
+  d.up();
+  ASSERT_TRUE(d.canonicalize());
+  const Dbm once = d;
+  d.up();
+  ASSERT_TRUE(d.canonicalize());
+  EXPECT_TRUE(same_matrix(once, d));
+}
+
+TEST(Dbm, EmptyZoneStaysEmpty) {
+  Dbm d(1);
+  d.constrain(1, 0, 2);
+  d.constrain(0, 1, -3);
+  ASSERT_FALSE(d.canonicalize());
+  EXPECT_FALSE(d.canonicalize());  // still contradictory
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(Dbm, ConstrainIsMonotone) {
+  Dbm d(1);
+  d.constrain(1, 0, 5);
+  d.constrain(1, 0, 9);  // looser bound must not widen the zone
+  EXPECT_EQ(d.at(1, 0), 5);
+  d.constrain(1, 0, kTimeInfinity);  // no-op
+  EXPECT_EQ(d.at(1, 0), 5);
+}
+
+TEST(Dbm, SubsetIsReflexiveAndZeroZoneIsSmallest) {
+  Dbm init(2);
+  init.canonicalize();
+  Dbm zero = Dbm::zero(2);
+  zero.canonicalize();
+  EXPECT_TRUE(init.subset_of(init));
+  EXPECT_TRUE(zero.subset_of(init));
+  EXPECT_FALSE(init.subset_of(zero));
+}
+
+TEST(Dbm, UpLeavesLowerBoundsAndZeroRow) {
+  Dbm d(2);
+  d.constrain(0, 1, -2);  // x1 >= 2
+  d.constrain(1, 0, 4);   // x1 <= 4
+  ASSERT_TRUE(d.canonicalize());
+  d.up();
+  ASSERT_TRUE(d.canonicalize());
+  EXPECT_EQ(d.at(1, 0), kTimeInfinity);  // upper bound dropped
+  EXPECT_EQ(d.at(0, 1), -2);             // lower bound preserved
+  EXPECT_EQ(d.at(0, 2), 0);              // zero row untouched
+}
+
+TEST(Dbm, RestrictAndExtendFreshClocksAreZero) {
+  Dbm d(2);
+  d.constrain(1, 0, 7);
+  d.canonicalize();
+  const Dbm r = d.restrict_and_extend({1}, 1);
+  EXPECT_EQ(r.at(2, 0), 0);
+  EXPECT_EQ(r.at(0, 2), 0);
+}
+
 }  // namespace
 }  // namespace rtv

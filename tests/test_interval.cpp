@@ -93,5 +93,62 @@ TEST(Interval, StreamFormatting) {
   EXPECT_EQ(os.str(), "[1,2] [5,inf)");
 }
 
+TEST(Interval, UnboundedStreamFormatting) {
+  EXPECT_EQ(DelayInterval::unbounded().to_string(), "[0,inf)");
+}
+
+TEST(Interval, TickRoundingIsToNearest) {
+  // 0.1 units = 0.4 ticks rounds down; 0.2 units = 0.8 ticks rounds up.
+  EXPECT_EQ(ticks_from_units(0.1), 0);
+  EXPECT_EQ(ticks_from_units(0.2), 1);
+}
+
+TEST(Interval, EpsilonEncodesStrictBounds) {
+  // The paper's "15 + eps" is one tick above 15 units.
+  EXPECT_EQ(ticks_from_units(15.25), ticks_from_units(15.0) + kTimeEpsilon);
+}
+
+TEST(Interval, ZeroPointInterval) {
+  const DelayInterval d = DelayInterval::exactly_units(0);
+  EXPECT_EQ(d.lo(), 0);
+  EXPECT_EQ(d.hi(), 0);
+  EXPECT_TRUE(d.valid());
+  EXPECT_TRUE(d.upper_bounded());
+  EXPECT_FALSE(d.is_unbounded());
+}
+
+TEST(Interval, PointIntervalIntersection) {
+  const DelayInterval p = DelayInterval::exactly_units(2);
+  EXPECT_EQ(p.intersect(DelayInterval::units(2, 5)), p);
+  EXPECT_FALSE(p.intersect(DelayInterval::units(3, 5)).valid());
+}
+
+TEST(Interval, EmptyPropagatesThroughIntersect) {
+  const DelayInterval empty =
+      DelayInterval::units(1, 2).intersect(DelayInterval::units(3, 4));
+  ASSERT_FALSE(empty.valid());
+  EXPECT_FALSE(empty.intersect(DelayInterval::unbounded()).valid());
+}
+
+TEST(Interval, IntersectIsCommutativeAndIdempotent) {
+  const DelayInterval a = DelayInterval::units(1, 5);
+  const DelayInterval b = DelayInterval::at_least_units(2);
+  EXPECT_EQ(a.intersect(b), b.intersect(a));
+  EXPECT_EQ(a.intersect(a), a);
+}
+
+TEST(Interval, WidenedZeroSlackIsIdentity) {
+  const DelayInterval a = DelayInterval::units(2, 4);
+  EXPECT_EQ(a.widened(0.0), a);
+  EXPECT_EQ(DelayInterval::unbounded().widened(0.0), DelayInterval::unbounded());
+}
+
+TEST(Interval, WidenedPointIntervalStaysValid) {
+  const DelayInterval w = DelayInterval::exactly_units(2).widened(0.25);
+  EXPECT_TRUE(w.valid());
+  EXPECT_EQ(w.lo(), ticks_from_units(1.5));
+  EXPECT_EQ(w.hi(), ticks_from_units(2.5));
+}
+
 }  // namespace
 }  // namespace rtv

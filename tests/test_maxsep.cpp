@@ -140,7 +140,9 @@ TEST_P(MaxSepRandom, SampledSeparationsNeverExceedExact) {
     }
     for (int a = 0; a < n; ++a) {
       ASSERT_GE(t[a], bounds.earliest[a]);
-      if (bounds.latest[a] < kTimeInfinity) ASSERT_LE(t[a], bounds.latest[a]);
+      if (bounds.latest[a] < kTimeInfinity) {
+        ASSERT_LE(t[a], bounds.latest[a]);
+      }
       for (int b = 0; b < n; ++b) {
         const MaxSepResult ms = max_separation(ces, a, b);
         ASSERT_GE(ms.separation, t[a] - t[b])
