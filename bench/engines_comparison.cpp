@@ -6,42 +6,85 @@
 //
 // The paper's Section 1 argues that exact timed state spaces (zones,
 // regions, discretization) scale poorly with clock count and constant
-// magnitude, motivating relative timing.  This bench measures all three on
-// the same obligations, including a constant-magnitude sweep where the
-// digitized engine's cost grows with the constants while zones and
-// relative timing stay flat.
+// magnitude, motivating relative timing.  This bench measures every engine
+// registered in engine_registry() on the same obligations — a new backend
+// shows up in the table just by registering — including a
+// constant-magnitude sweep where the digitized engine's cost grows with
+// the constants while zones and relative timing stay flat.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "rtv/circuit/invariants.hpp"
 #include "rtv/ipcmos/experiments.hpp"
 #include "rtv/ts/gallery.hpp"
-#include "rtv/zone/discrete.hpp"
-#include "rtv/zone/zone_graph.hpp"
+#include "rtv/verify/engine.hpp"
 
 using namespace rtv;
 using namespace rtv::ipcmos;
 
+namespace {
+
+/// Run every registered engine on one obligation; returns per-engine
+/// results in registry order.
+std::vector<EngineResult> run_all(const std::vector<const Module*>& modules,
+                                  const std::vector<const SafetyProperty*>& props) {
+  std::vector<EngineResult> out;
+  for (const Engine* e : engine_registry().engines()) {
+    EngineRequest req;
+    req.modules = modules;
+    req.properties = props;
+    out.push_back(e->run(req));
+  }
+  return out;
+}
+
+/// Each engine counts its own exploration unit (EngineResult doc).
+const char* unit_of(std::string_view engine) {
+  if (engine == "zone") return "(zones)";
+  if (engine == "discrete") return "(configs)";
+  return "(states)";
+}
+
+void print_header() {
+  std::printf("%-36s", "system");
+  for (const Engine* e : engine_registry().engines())
+    std::printf(" %14s", std::string(e->name()).c_str());
+  std::printf("\n%-36s", "");
+  for (const Engine* e : engine_registry().engines())
+    std::printf(" %14s", unit_of(e->name()));
+  std::printf("\n");
+}
+
+void print_row(const char* name, const std::vector<EngineResult>& rs) {
+  std::printf("%-36s", name);
+  for (const EngineResult& r : rs) std::printf(" %14zu", r.states_explored);
+  std::printf("\n");
+}
+
+bool verdicts_agree(const std::vector<EngineResult>& rs) {
+  for (const EngineResult& r : rs)
+    if (r.verdict != rs.front().verdict) return false;
+  return true;
+}
+
+}  // namespace
+
 int main() {
-  std::printf("%-36s %14s %14s %14s\n", "system", "relative", "zones",
-              "digitized");
-  std::printf("%-36s %14s %14s %14s\n", "", "(states)", "(zones)", "(configs)");
+  print_header();
 
   // Intro example.
   {
     const Module sys = gallery::intro_example();
     const Module mon = gallery::order_monitor("g", "d");
     const InvariantProperty bad("g before d", {{"fail", true}});
-    const VerificationResult rt = verify_modules({&sys, &mon}, {&bad});
-    const ZoneVerifyResult zn = zone_verify({&sys, &mon}, {&bad});
-    const DiscreteVerifyResult dg = discrete_verify({&sys, &mon}, {&bad});
-    std::printf("%-36s %14zu %14zu %14zu\n", "intro example",
-                rt.final_states_explored, zn.zones_explored, dg.states_explored);
+    const auto rs = run_all({&sys, &mon}, {&bad});
+    print_row("intro example", rs);
   }
 
   // IPCMOS 1-stage.
   {
     const ExperimentConfig cfg;
-    const VerificationResult rt = experiment5(cfg);
     const ModuleSet set = flat_pipeline(1, cfg.timing);
     const Netlist nl =
         make_stage_netlist("I1", linear_channels(1), cfg.timing.stage);
@@ -50,18 +93,19 @@ int main() {
     const PersistencyProperty pers;
     std::vector<const SafetyProperty*> props{&dead, &pers};
     for (const auto& p : scs) props.push_back(p.get());
-    const ZoneVerifyResult zn = zone_verify(set.ptrs, props);
-    const DiscreteVerifyResult dg = discrete_verify(set.ptrs, props);
-    std::printf("%-36s %14zu %14zu %14zu\n", "IPCMOS 1-stage (exp 5)",
-                rt.final_states_explored, zn.zones_explored, dg.states_explored);
-    std::printf("  verdicts: %s / %s / %s\n", to_string(rt.verdict),
-                zn.violated ? "violated" : "holds",
-                dg.violated ? "violated" : "holds");
+    const auto rs = run_all(set.ptrs, props);
+    print_row("IPCMOS 1-stage (exp 5)", rs);
+    std::printf("  verdicts:");
+    for (const EngineResult& r : rs) std::printf(" %s", to_string(r.verdict));
+    std::printf("\n");
   }
 
   // Constant-magnitude sweep on a 3-way race: digitization pays per tick.
   std::printf("\nconstant-magnitude sweep (3 concurrent chains, scale k):\n");
-  std::printf("%6s %14s %14s %14s\n", "k", "relative", "zones", "digitized");
+  std::printf("%6s", "k");
+  for (const Engine* e : engine_registry().engines())
+    std::printf(" %14s", std::string(e->name()).c_str());
+  std::printf("\n");
   for (int k = 1; k <= 8; k *= 2) {
     TransitionSystem ts;
     const double s = k;
@@ -83,14 +127,10 @@ int main() {
     const Module m("race3", std::move(ts));
     const Module mon = gallery::order_monitor("a", "c");
     const InvariantProperty bad("a before c", {{"fail", true}});
-    const VerificationResult rt = verify_modules({&m, &mon}, {&bad});
-    const ZoneVerifyResult zn = zone_verify({&m, &mon}, {&bad});
-    const DiscreteVerifyResult dg = discrete_verify({&m, &mon}, {&bad});
-    std::printf("%6d %14zu %14zu %14zu   (all agree: %s)\n", k,
-                rt.final_states_explored, zn.zones_explored, dg.states_explored,
-                (rt.verified() == !zn.violated && zn.violated == dg.violated)
-                    ? "yes"
-                    : "NO");
+    const auto rs = run_all({&m, &mon}, {&bad});
+    std::printf("%6d", k);
+    for (const EngineResult& r : rs) std::printf(" %14zu", r.states_explored);
+    std::printf("   (all agree: %s)\n", verdicts_agree(rs) ? "yes" : "NO");
   }
   std::printf("\nzones and relative timing are constant in k; digitized "
               "configs grow\nlinearly with the constants — the cost [8] pays "

@@ -4,7 +4,7 @@
 //    components for which a correct behavior can still be guaranteed."
 //
 // For selected stage delays, sweep the parameter and report the boundary
-// between VERIFIED and COUNTEREXAMPLE — the slack margin of the design.
+// between VERIFIED and VIOLATED — the slack margin of the design.
 // The paper's orderings predict the boundaries: e.g. Y- [1,2] must finish
 // before CLKE- [3,4] (both triggered by ACK+), so Y-'s upper bound can
 // grow to CLKE-'s lower bound (3) and no further.

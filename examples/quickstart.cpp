@@ -7,8 +7,10 @@
 //
 //   $ ./quickstart
 #include <cstdio>
+#include <string>
 
 #include "rtv/ts/gallery.hpp"
+#include "rtv/verify/engine.hpp"
 #include "rtv/verify/refinement.hpp"
 #include "rtv/verify/report.hpp"
 
@@ -40,5 +42,22 @@ int main() {
     return 1;
   }
   std::printf("\nverified in %d refinement iterations.\n", result.refinements);
+
+  // 5. The same obligation through the unified engine seam: every engine
+  //    in engine_registry() (relative timing, dense-time zones, digitized
+  //    time) answers with the same three-valued Verdict, under a shared
+  //    budget (state cap + wall-clock deadline + cancellation).
+  std::printf("\ncross-checking with every registered engine:\n");
+  EngineRequest req;
+  req.modules = {&system, &monitor};
+  req.properties = {&property};
+  req.budget.max_seconds = 10.0;  // generous deadline, same for all engines
+  for (const Engine* engine : engine_registry().engines()) {
+    const EngineResult r = engine->run(req);
+    std::printf("  %-10s %-13s %8zu states  %.3f s\n",
+                std::string(engine->name()).c_str(), to_string(r.verdict),
+                r.states_explored, r.seconds);
+    if (!r.verified()) return 1;
+  }
   return 0;
 }

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,11 @@ struct ComposeOptions {
   bool track_chokes = false;
   /// Abort exploration beyond this many composed states.
   std::size_t max_states = 2'000'000;
+  /// Optional cooperative stop hook, polled once per expanded composed
+  /// state with the current state count.  A non-null return aborts the
+  /// composition (truncated, with that reason) — the verification engines
+  /// hook their wall-clock deadline / cancellation checks in here.
+  std::function<const char*(std::size_t)> stop;
 };
 
 struct Composition {
@@ -40,6 +46,9 @@ struct Composition {
   std::vector<std::vector<StateId>> component_states;
   std::vector<ChokeRecord> chokes;
   bool truncated = false;
+  /// Why composition stopped early (static storage); null when not
+  /// truncated or truncated by the state cap.
+  const char* truncated_reason = nullptr;
 
   /// Component-state tuple rendering for diagnostics.
   std::string describe_state(StateId s) const;

@@ -1,0 +1,236 @@
+// The unified verification-engine seam.
+//
+// The paper's contribution is a *comparison of engines* — relative-timing
+// refinement (transyt, [13]) against exact dense-time zones and
+// digitization [8] — so the library exposes every decision procedure
+// behind one polymorphic interface:
+//
+//   Engine::run(EngineRequest) -> EngineResult
+//
+// A request carries the composed obligation (modules + properties), a
+// shared RunBudget (state cap, wall-clock deadline, cooperative
+// cancellation) and an optional progress callback; a result carries a
+// common three-valued Verdict plus engine-specific statistics.  Engines
+// register in engine_registry() under stable names ("refine", "zone",
+// "discrete"), so callers — the CLI, benches, parity tests, future
+// sharded backends — enumerate and swap them generically.
+//
+// Adding a backend is a one-file drop-in: subclass Engine, map your
+// native options/result to EngineRequest/EngineResult, and register an
+// instance (see docs/API.md).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "rtv/ts/module.hpp"
+#include "rtv/verify/property.hpp"
+
+namespace rtv {
+
+// ---------------------------------------------------------------------------
+// Verdict — the one three-valued answer every engine must give.
+// ---------------------------------------------------------------------------
+
+/// Truncation (state budget, deadline, cancellation) may only surface as
+/// kInconclusive: an exhausted run is never "verified".
+enum class Verdict {
+  kVerified,
+  kViolated,
+  kInconclusive,
+  /// Historical alias from the refinement flow, where a violation always
+  /// comes with a concrete timed counterexample trace.
+  kCounterexample = kViolated,
+};
+
+const char* to_string(Verdict v);
+
+// ---------------------------------------------------------------------------
+// Budgets, cancellation, progress.
+// ---------------------------------------------------------------------------
+
+/// Cooperative cancellation: hand a token to a run, call cancel() from any
+/// thread; the engine observes it in its exploration loop and stops with
+/// Verdict::kInconclusive.
+class CancelToken {
+ public:
+  void cancel() noexcept { flag_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const noexcept {
+    return flag_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Resource limits shared by every engine.  Exceeding any limit stops the
+/// run early with Verdict::kInconclusive and a stop_reason.
+struct RunBudget {
+  /// Cap on explored states (composed states / zones / digitized configs —
+  /// each engine counts its own exploration unit).  0 keeps the engine's
+  /// native default (2M states/zones for refine/zone, 4M configs for
+  /// discrete).
+  std::size_t max_states = 0;
+  /// Wall-clock deadline in seconds; 0 means no deadline.
+  double max_seconds = 0.0;
+  /// Optional cancellation token (not owned; may be null).
+  const CancelToken* cancel = nullptr;
+};
+
+/// Progress snapshot handed to the callback every progress_interval
+/// explored states.
+struct EngineProgress {
+  std::string_view engine;        ///< registry name of the running engine
+  std::size_t states_explored = 0;
+  double seconds = 0.0;           ///< elapsed wall-clock time
+};
+
+using ProgressFn = std::function<void(const EngineProgress&)>;
+
+inline constexpr std::size_t kDefaultProgressInterval = 8192;
+
+/// Stable stop reasons reported via EngineResult::truncated_reason.
+namespace stop_reason {
+inline constexpr const char* kStateBudget = "state budget exhausted";
+inline constexpr const char* kDeadline = "wall-clock deadline exceeded";
+inline constexpr const char* kCancelled = "cancelled by caller";
+inline constexpr const char* kComposeBudget =
+    "state budget exhausted during composition";
+/// Refinement engine only: the iteration cap was reached.
+inline constexpr const char* kRefinementBudget =
+    "refinement budget exhausted";
+}  // namespace stop_reason
+
+/// Hot-loop guard threading one RunBudget's deadline + cancellation (and
+/// the progress callback) through an exploration loop.  Engines call
+/// tick(n) once per explored state; a non-null return is the stop reason.
+/// The deadline is polled every 64th tick (the very first tick included),
+/// keeping the steady_clock cost out of the per-state path.
+class RunClock {
+ public:
+  RunClock(std::string_view engine, const RunBudget& budget,
+           ProgressFn progress = nullptr,
+           std::size_t progress_interval = kDefaultProgressInterval);
+
+  /// Null if the run may continue, else a stable stop_reason string.
+  const char* tick(std::size_t states_explored);
+
+  double seconds() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  /// Deadline kept in double seconds and compared against seconds() —
+  /// converting huge budgets (1e300, inf) to a clock duration would
+  /// overflow the integer representation (UB).
+  double deadline_seconds_ = 0.0;
+  bool has_deadline_ = false;
+  const CancelToken* cancel_ = nullptr;
+  ProgressFn progress_;
+  std::size_t progress_interval_ = kDefaultProgressInterval;
+  std::size_t ticks_ = 0;
+  std::string_view engine_;
+};
+
+// ---------------------------------------------------------------------------
+// Request / result.
+// ---------------------------------------------------------------------------
+
+/// One verification obligation, engine-agnostic.
+struct EngineRequest {
+  /// Modules composed CSP-style over shared labels (monitors included).
+  std::vector<const Module*> modules;
+  std::vector<const SafetyProperty*> properties;
+  RunBudget budget;
+  /// Invoked every progress_interval explored states when set.
+  ProgressFn progress;
+  std::size_t progress_interval = kDefaultProgressInterval;
+  /// Track refused outputs (chokes) for containment checking.
+  bool track_chokes = true;
+  /// Refinement-engine knob (iteration cap); exact engines ignore it.
+  std::size_t max_refinements = 500;
+};
+
+/// Engine-specific statistics, carried alongside the common fields.
+struct RefineEngineStats {
+  int refinements = 0;
+  std::size_t composed_states = 0;
+  /// Back-annotated relative timing constraints ("a before b"), the
+  /// paper's Fig. 13 deliverable.
+  std::vector<std::string> constraints;
+};
+
+/// For zone/discrete, EngineResult::states_explored already counts the
+/// engine's exploration unit (zones / integer-age configs); the stats add
+/// only what is not derivable from the common fields.
+struct ZoneEngineStats {
+  std::size_t discrete_states = 0;  ///< distinct TTS states reached in time
+};
+
+struct DiscreteEngineStats {
+  std::size_t discrete_states = 0;  ///< distinct locations reached
+};
+
+using EngineStats = std::variant<std::monostate, RefineEngineStats,
+                                 ZoneEngineStats, DiscreteEngineStats>;
+
+struct EngineResult {
+  Verdict verdict = Verdict::kInconclusive;
+  /// Human-readable note: the violation description, or an engine-specific
+  /// remark (may be empty; truncation causes go in truncated_reason).
+  std::string message;
+  /// Event labels leading to the violation (empty when none or unknown).
+  std::vector<std::string> trace_labels;
+  /// Explored states in the engine's own unit (see RunBudget::max_states).
+  std::size_t states_explored = 0;
+  double seconds = 0.0;
+  /// Non-empty iff the run stopped early (see stop_reason); implies
+  /// verdict != kVerified.
+  std::string truncated_reason;
+  EngineStats stats;
+
+  bool verified() const { return verdict == Verdict::kVerified; }
+  bool violated() const { return verdict == Verdict::kViolated; }
+  bool inconclusive() const { return verdict == Verdict::kInconclusive; }
+};
+
+// ---------------------------------------------------------------------------
+// Engine interface + registry.
+// ---------------------------------------------------------------------------
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+  /// Stable registry key ("refine", "zone", "discrete", ...).
+  virtual std::string_view name() const = 0;
+  /// One-line description for listings.
+  virtual std::string_view description() const = 0;
+  virtual EngineResult run(const EngineRequest& request) const = 0;
+};
+
+class EngineRegistry {
+ public:
+  /// Registers (or replaces, matching by name) an engine.
+  void add(std::unique_ptr<Engine> engine);
+  /// Null when no engine has that name.
+  const Engine* find(std::string_view name) const;
+  /// All engines in registration order.
+  std::vector<const Engine*> engines() const;
+  std::vector<std::string> names() const;
+
+ private:
+  std::vector<std::unique_ptr<Engine>> engines_;
+};
+
+/// The process-wide registry, pre-seeded with the three built-in engines:
+/// "refine" (relative-timing refinement), "zone" (dense-time DBM zones)
+/// and "discrete" (digitized integer ages).
+EngineRegistry& engine_registry();
+
+}  // namespace rtv

@@ -13,6 +13,7 @@
 #include "rtv/lazy/refined_system.hpp"
 #include "rtv/ts/compose.hpp"
 #include "rtv/ts/trace.hpp"
+#include "rtv/verify/engine.hpp"
 #include "rtv/verify/property.hpp"
 
 namespace rtv {
@@ -28,14 +29,19 @@ struct Failure {
 struct FailureSearchStats {
   std::size_t states_explored = 0;
   bool truncated = false;
+  /// Why the search stopped early (a rtv::stop_reason string, static
+  /// storage); null when not truncated.
+  const char* stop_reason = nullptr;
 };
 
 /// BFS over `sys`; `chokes` (may be empty) come from the composition.
 /// Property and choke checks skip firings blocked by the refinement
-/// observers — blocked firings are timing-impossible.
+/// observers — blocked firings are timing-impossible.  `clock` (optional)
+/// threads a shared wall-clock deadline / cancellation / progress guard
+/// through the loop.
 std::optional<Failure> find_failure(
     const RefinedSystem& sys, std::span<const ChokeRecord> chokes,
     std::span<const SafetyProperty* const> properties, std::size_t max_states,
-    FailureSearchStats* stats);
+    FailureSearchStats* stats, RunClock* clock = nullptr);
 
 }  // namespace rtv

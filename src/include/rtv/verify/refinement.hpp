@@ -20,18 +20,23 @@
 #include "rtv/timing/trace_timing.hpp"
 #include "rtv/ts/compose.hpp"
 #include "rtv/ts/module.hpp"
+#include "rtv/verify/engine.hpp"
 #include "rtv/verify/property.hpp"
 
 namespace rtv {
-
-enum class Verdict { kVerified, kCounterexample, kInconclusive };
-
-const char* to_string(Verdict v);
 
 struct VerifyOptions {
   std::size_t max_refinements = 500;
   std::size_t max_states = 2'000'000;
   bool track_chokes = true;
+  /// Wall-clock deadline in seconds; 0 means none.  Checked between
+  /// refinement iterations and inside the failure-search loop.
+  double max_seconds = 0.0;
+  /// Optional cooperative cancellation (not owned; may be null).
+  const CancelToken* cancel = nullptr;
+  /// Invoked every progress_interval explored states when set.
+  ProgressFn progress;
+  std::size_t progress_interval = kDefaultProgressInterval;
   /// Apply the structural relative-timing rule (see RefinedSystem) from the
   /// first iteration.  Off reproduces the pure trace-by-trace flow.
   bool structural_rule = true;
@@ -57,7 +62,13 @@ struct VerificationResult {
   int refinements = 0;
   std::optional<Trace> counterexample;
   std::string counterexample_text;
+  /// Event labels of the counterexample (the virtual choked event, if any,
+  /// appended last); empty when there is no counterexample.
+  std::vector<std::string> counterexample_labels;
   std::string message;
+  /// Non-empty iff a budget stopped the run early (see rtv::stop_reason);
+  /// the verdict is then kInconclusive.
+  std::string truncated_reason;
   std::vector<RefinementRecord> records;
   std::size_t composed_states = 0;
   std::size_t final_states_explored = 0;

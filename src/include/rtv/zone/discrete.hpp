@@ -17,6 +17,7 @@
 #pragma once
 
 #include "rtv/ts/compose.hpp"
+#include "rtv/verify/engine.hpp"
 #include "rtv/verify/property.hpp"
 
 namespace rtv {
@@ -24,15 +25,34 @@ namespace rtv {
 struct DiscreteVerifyOptions {
   std::size_t max_states = 4'000'000;
   bool track_chokes = true;
+  /// Wall-clock deadline in seconds; 0 means none.
+  double max_seconds = 0.0;
+  /// Optional cooperative cancellation (not owned; may be null).
+  const CancelToken* cancel = nullptr;
+  /// Invoked every progress_interval explored configs when set.
+  ProgressFn progress;
+  std::size_t progress_interval = kDefaultProgressInterval;
+  /// Advanced: share an external RunClock (deadline/cancel/progress state
+  /// and elapsed-seconds origin) instead of starting a fresh one —
+  /// discrete_verify uses this so composition time counts against the
+  /// budget.
+  RunClock* clock = nullptr;
 };
 
 struct DiscreteVerifyResult {
   bool violated = false;
   bool truncated = false;
+  std::string truncated_reason;      ///< why, when truncated
   std::string description;
   std::size_t states_explored = 0;   ///< (location, valuation) pairs
   std::size_t discrete_states = 0;   ///< distinct locations reached
   double seconds = 0.0;
+
+  /// The unified three-valued verdict: a truncated run is never verified.
+  Verdict verdict() const {
+    if (violated) return Verdict::kViolated;
+    return truncated ? Verdict::kInconclusive : Verdict::kVerified;
+  }
 };
 
 /// Digitized exploration of the composition of `modules`.

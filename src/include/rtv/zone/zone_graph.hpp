@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "rtv/ts/compose.hpp"
+#include "rtv/verify/engine.hpp"
 #include "rtv/verify/property.hpp"
 #include "rtv/zone/dbm.hpp"
 
@@ -25,16 +26,34 @@ namespace rtv {
 struct ZoneVerifyOptions {
   std::size_t max_zones = 2'000'000;
   bool track_chokes = true;
+  /// Wall-clock deadline in seconds; 0 means none.
+  double max_seconds = 0.0;
+  /// Optional cooperative cancellation (not owned; may be null).
+  const CancelToken* cancel = nullptr;
+  /// Invoked every progress_interval explored zones when set.
+  ProgressFn progress;
+  std::size_t progress_interval = kDefaultProgressInterval;
+  /// Advanced: share an external RunClock (deadline/cancel/progress state
+  /// and elapsed-seconds origin) instead of starting a fresh one —
+  /// zone_verify uses this so composition time counts against the budget.
+  RunClock* clock = nullptr;
 };
 
 struct ZoneVerifyResult {
   bool violated = false;
   bool truncated = false;
+  std::string truncated_reason;            ///< why, when truncated
   std::string description;                 ///< first violation found
   std::vector<std::string> trace_labels;   ///< events leading to it
   std::size_t zones_explored = 0;
   std::size_t discrete_states = 0;         ///< distinct TTS states reached in time
   double seconds = 0.0;
+
+  /// The unified three-valued verdict: a truncated run is never verified.
+  Verdict verdict() const {
+    if (violated) return Verdict::kViolated;
+    return truncated ? Verdict::kInconclusive : Verdict::kVerified;
+  }
 };
 
 /// Explore the timed state space of the composition of `modules`, checking

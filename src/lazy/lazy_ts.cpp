@@ -245,6 +245,7 @@ void RefinedSystem::advance_age(const RefinedState& s, EventId fired,
     std::size_t wave;
   };
   std::vector<Entry> survivors;
+  survivors.reserve(s.order.size());
   for (std::size_t i = 0; i < s.order.size(); ++i) {
     const EventId e(s.order[i] & kIdMask);
     if (e == fired) continue;
@@ -252,6 +253,7 @@ void RefinedSystem::advance_age(const RefinedState& s, EventId fired,
     survivors.push_back({e, old_wave[i]});
   }
   std::vector<EventId> fresh;
+  fresh.reserve(enabled.size());
   for (EventId e : enabled) {
     const bool surviving =
         std::any_of(survivors.begin(), survivors.end(),
@@ -260,6 +262,7 @@ void RefinedSystem::advance_age(const RefinedState& s, EventId fired,
   }
 
   std::vector<std::size_t> kept;  // old wave indices with survivors
+  kept.reserve(survivors.size() + 1);
   for (const Entry& en : survivors) {
     if (std::find(kept.begin(), kept.end(), en.wave) == kept.end())
       kept.push_back(en.wave);

@@ -136,6 +136,14 @@ Composition compose(const std::vector<const Module*>& modules,
       RTV_WARN << "composition truncated at " << out.ts.num_states() << " states";
       break;
     }
+    if (options.stop) {
+      if (const char* reason = options.stop(out.ts.num_states())) {
+        out.truncated = true;
+        out.truncated_reason = reason;
+        RTV_WARN << "composition stopped: " << reason;
+        break;
+      }
+    }
     const StateId s = queue.front();
     queue.pop_front();
     const std::vector<StateId> tuple = out.component_states[s.value()];

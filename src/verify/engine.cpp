@@ -1,0 +1,210 @@
+#include "rtv/verify/engine.hpp"
+
+#include <utility>
+
+#include "rtv/verify/refinement.hpp"
+#include "rtv/zone/discrete.hpp"
+#include "rtv/zone/zone_graph.hpp"
+
+namespace rtv {
+
+const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::kVerified:
+      return "VERIFIED";
+    case Verdict::kViolated:
+      return "VIOLATED";
+    case Verdict::kInconclusive:
+      return "INCONCLUSIVE";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// RunClock
+// ---------------------------------------------------------------------------
+
+RunClock::RunClock(std::string_view engine, const RunBudget& budget,
+                   ProgressFn progress, std::size_t progress_interval)
+    : start_(std::chrono::steady_clock::now()),
+      cancel_(budget.cancel),
+      progress_(std::move(progress)),
+      progress_interval_(progress_interval == 0 ? kDefaultProgressInterval
+                                                : progress_interval),
+      engine_(engine) {
+  if (budget.max_seconds > 0.0) {
+    has_deadline_ = true;
+    deadline_seconds_ = budget.max_seconds;
+  }
+}
+
+double RunClock::seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+const char* RunClock::tick(std::size_t states_explored) {
+  if (cancel_ && cancel_->cancelled()) return stop_reason::kCancelled;
+  if (has_deadline_ && (ticks_ % 64) == 0 && seconds() > deadline_seconds_)
+    return stop_reason::kDeadline;
+  ++ticks_;
+  if (progress_ && (ticks_ % progress_interval_) == 0)
+    progress_(EngineProgress{engine_, states_explored, seconds()});
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Built-in engines
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class RefineEngine final : public Engine {
+ public:
+  std::string_view name() const override { return "refine"; }
+  std::string_view description() const override {
+    return "relative-timing refinement (the paper's flow: untimed search + "
+           "derived timing constraints)";
+  }
+
+  EngineResult run(const EngineRequest& request) const override {
+    VerifyOptions opts;
+    opts.max_refinements = request.max_refinements;
+    if (request.budget.max_states) opts.max_states = request.budget.max_states;
+    opts.max_seconds = request.budget.max_seconds;
+    opts.cancel = request.budget.cancel;
+    opts.progress = request.progress;
+    opts.progress_interval = request.progress_interval;
+    opts.track_chokes = request.track_chokes;
+    const VerificationResult r =
+        verify_modules(request.modules, request.properties, opts);
+
+    EngineResult out;
+    out.verdict = r.verdict;
+    out.message =
+        r.verdict == Verdict::kViolated ? r.counterexample_text : r.message;
+    out.trace_labels = r.counterexample_labels;
+    out.states_explored = r.final_states_explored;
+    out.seconds = r.seconds;
+    out.truncated_reason = r.truncated_reason;
+
+    RefineEngineStats st;
+    st.refinements = r.refinements;
+    st.composed_states = r.composed_states;
+    for (const DerivedOrdering& o : r.constraints())
+      st.constraints.push_back(o.before + " before " + o.after);
+    out.stats = std::move(st);
+    return out;
+  }
+};
+
+class ZoneEngine final : public Engine {
+ public:
+  std::string_view name() const override { return "zone"; }
+  std::string_view description() const override {
+    return "exact dense-time reachability over DBM zones (ground truth, "
+           "exponential in clocks)";
+  }
+
+  EngineResult run(const EngineRequest& request) const override {
+    ZoneVerifyOptions opts;
+    if (request.budget.max_states) opts.max_zones = request.budget.max_states;
+    opts.max_seconds = request.budget.max_seconds;
+    opts.cancel = request.budget.cancel;
+    opts.progress = request.progress;
+    opts.progress_interval = request.progress_interval;
+    opts.track_chokes = request.track_chokes;
+    const ZoneVerifyResult r =
+        zone_verify(request.modules, request.properties, opts);
+
+    EngineResult out;
+    out.verdict = r.verdict();
+    if (r.violated) out.message = r.description;
+    out.trace_labels = r.trace_labels;
+    out.states_explored = r.zones_explored;
+    out.seconds = r.seconds;
+    out.truncated_reason = r.truncated_reason;
+    out.stats = ZoneEngineStats{r.discrete_states};
+    return out;
+  }
+};
+
+class DiscreteEngine final : public Engine {
+ public:
+  std::string_view name() const override { return "discrete"; }
+  std::string_view description() const override {
+    return "digitized reachability with integer ages (cost grows with the "
+           "timing constants)";
+  }
+
+  EngineResult run(const EngineRequest& request) const override {
+    DiscreteVerifyOptions opts;
+    if (request.budget.max_states) opts.max_states = request.budget.max_states;
+    opts.max_seconds = request.budget.max_seconds;
+    opts.cancel = request.budget.cancel;
+    opts.progress = request.progress;
+    opts.progress_interval = request.progress_interval;
+    opts.track_chokes = request.track_chokes;
+    const DiscreteVerifyResult r =
+        discrete_verify(request.modules, request.properties, opts);
+
+    EngineResult out;
+    out.verdict = r.verdict();
+    if (r.violated) out.message = r.description;
+    out.states_explored = r.states_explored;
+    out.seconds = r.seconds;
+    out.truncated_reason = r.truncated_reason;
+    out.stats = DiscreteEngineStats{r.discrete_states};
+    return out;
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+void EngineRegistry::add(std::unique_ptr<Engine> engine) {
+  for (auto& existing : engines_) {
+    if (existing->name() == engine->name()) {
+      existing = std::move(engine);
+      return;
+    }
+  }
+  engines_.push_back(std::move(engine));
+}
+
+const Engine* EngineRegistry::find(std::string_view name) const {
+  for (const auto& e : engines_)
+    if (e->name() == name) return e.get();
+  return nullptr;
+}
+
+std::vector<const Engine*> EngineRegistry::engines() const {
+  std::vector<const Engine*> out;
+  out.reserve(engines_.size());
+  for (const auto& e : engines_) out.push_back(e.get());
+  return out;
+}
+
+std::vector<std::string> EngineRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(engines_.size());
+  for (const auto& e : engines_) out.emplace_back(e->name());
+  return out;
+}
+
+EngineRegistry& engine_registry() {
+  static EngineRegistry* registry = [] {
+    auto* r = new EngineRegistry;
+    r->add(std::make_unique<RefineEngine>());
+    r->add(std::make_unique<ZoneEngine>());
+    r->add(std::make_unique<DiscreteEngine>());
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace rtv

@@ -1,5 +1,6 @@
 #include "rtv/verify/failure_search.hpp"
 
+#include <algorithm>
 #include <deque>
 #include <unordered_map>
 
@@ -41,7 +42,7 @@ Trace unwind(const TransitionSystem& base,
 std::optional<Failure> find_failure(
     const RefinedSystem& sys, std::span<const ChokeRecord> chokes,
     std::span<const SafetyProperty* const> properties, std::size_t max_states,
-    FailureSearchStats* stats) {
+    FailureSearchStats* stats, RunClock* clock) {
   const TransitionSystem& base = sys.base();
 
   // Chokes indexed by base state for O(1) lookup.
@@ -54,6 +55,16 @@ std::optional<Failure> find_failure(
   std::vector<std::ptrdiff_t> parent;
   std::vector<EventId> via;
   std::deque<std::ptrdiff_t> queue;
+  // Pre-sizing skips the early growth reallocations; the hint is capped
+  // because find_failure runs once per refinement iteration and most
+  // iterations stop at a shallow failure — sizing to the full base graph
+  // would pay MBs of zeroed memory hundreds of times per run.
+  const std::size_t hint = std::min<std::size_t>(
+      {std::max<std::size_t>(base.num_states(), 256), max_states, 4096});
+  index.reserve(hint);
+  states.reserve(hint);
+  parent.reserve(hint);
+  via.reserve(hint);
 
   auto intern = [&](const RefinedState& rs, std::ptrdiff_t par, EventId e) {
     auto it = index.find(rs);
@@ -70,9 +81,22 @@ std::optional<Failure> find_failure(
 
   while (!queue.empty()) {
     if (states.size() > max_states) {
-      if (stats) stats->truncated = true;
+      if (stats) {
+        stats->truncated = true;
+        stats->stop_reason = stop_reason::kStateBudget;
+      }
       RTV_WARN << "failure search truncated at " << states.size() << " states";
       break;
+    }
+    if (clock) {
+      if (const char* reason = clock->tick(states.size())) {
+        if (stats) {
+          stats->truncated = true;
+          stats->stop_reason = reason;
+        }
+        RTV_WARN << "failure search stopped: " << reason;
+        break;
+      }
     }
     const std::ptrdiff_t id = queue.front();
     queue.pop_front();

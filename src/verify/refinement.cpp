@@ -9,18 +9,6 @@
 
 namespace rtv {
 
-const char* to_string(Verdict v) {
-  switch (v) {
-    case Verdict::kVerified:
-      return "VERIFIED";
-    case Verdict::kCounterexample:
-      return "COUNTEREXAMPLE";
-    case Verdict::kInconclusive:
-      return "INCONCLUSIVE";
-  }
-  return "?";
-}
-
 std::vector<DerivedOrdering> VerificationResult::constraints() const {
   std::vector<DerivedOrdering> all;
   for (const RefinementRecord& r : records)
@@ -34,17 +22,33 @@ VerificationResult verify_modules(
     const std::vector<const Module*>& modules,
     const std::vector<const SafetyProperty*>& properties,
     const VerifyOptions& options) {
-  const auto t0 = std::chrono::steady_clock::now();
+  RunBudget budget;
+  budget.max_states = options.max_states;
+  budget.max_seconds = options.max_seconds;
+  budget.cancel = options.cancel;
+  RunClock clock("refine", budget, options.progress,
+                 options.progress_interval);
   VerificationResult result;
+
+  auto finish = [&](const char* truncated_reason) {
+    if (truncated_reason) {
+      result.truncated_reason = truncated_reason;
+      if (result.message.empty()) result.message = truncated_reason;
+    }
+    result.seconds = clock.seconds();
+    return result;
+  };
 
   ComposeOptions copts;
   copts.track_chokes = options.track_chokes;
   copts.max_states = options.max_states;
+  copts.stop = [&clock](std::size_t states) { return clock.tick(states); };
   const Composition comp = compose(modules, copts);
   result.composed_states = comp.ts.num_states();
   if (comp.truncated) {
     result.message = "composition truncated; verdict unavailable";
-    return result;
+    return finish(comp.truncated_reason ? comp.truncated_reason
+                                        : stop_reason::kComposeBudget);
   }
   RTV_INFO << "composed " << comp.ts.num_states() << " states, "
            << comp.chokes.size() << " potential refusals";
@@ -57,12 +61,15 @@ VerificationResult verify_modules(
   std::string last_signature;
   for (std::size_t iter = 0; iter <= options.max_refinements; ++iter) {
     FailureSearchStats stats;
-    const auto failure =
-        find_failure(refined, comp.chokes, properties, options.max_states, &stats);
+    const auto failure = find_failure(refined, comp.chokes, properties,
+                                      options.max_states, &stats, &clock);
     result.final_states_explored = stats.states_explored;
     if (stats.truncated) {
-      result.message = "state budget exhausted during failure search";
-      break;
+      const char* reason = stats.stop_reason ? stats.stop_reason
+                                             : stop_reason::kStateBudget;
+      result.message =
+          std::string(reason) + " during failure search";
+      return finish(reason);
     }
     if (!failure) {
       result.verdict = Verdict::kVerified;
@@ -74,6 +81,11 @@ VerificationResult verify_modules(
     if (model.consistent()) {
       result.verdict = Verdict::kCounterexample;
       result.counterexample = failure->trace;
+      for (const TraceStep& st : failure->trace.steps)
+        result.counterexample_labels.push_back(comp.ts.label(st.event));
+      if (failure->virtual_event.valid())
+        result.counterexample_labels.push_back(
+            comp.ts.label(failure->virtual_event));
       std::ostringstream os;
       os << failure->description << " via "
          << failure->trace.to_string(comp.ts);
@@ -85,8 +97,8 @@ VerificationResult verify_modules(
     }
 
     if (iter == options.max_refinements) {
-      result.message = "refinement budget exhausted";
-      break;
+      result.message = stop_reason::kRefinementBudget;
+      return finish(stop_reason::kRefinementBudget);
     }
 
     const auto window = model.find_ban_window();
@@ -151,9 +163,7 @@ VerificationResult verify_modules(
     result.refinements = static_cast<int>(iter) + 1;
   }
 
-  result.seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-  return result;
+  return finish(nullptr);
 }
 
 }  // namespace rtv

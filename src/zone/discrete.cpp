@@ -1,7 +1,6 @@
 #include "rtv/zone/discrete.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <deque>
 #include <unordered_map>
 
@@ -36,11 +35,18 @@ DiscreteVerifyResult discrete_explore(
     const TransitionSystem& ts,
     const std::vector<const SafetyProperty*>& properties,
     std::span<const ChokeRecord> chokes, const DiscreteVerifyOptions& options) {
-  const auto t0 = std::chrono::steady_clock::now();
+  RunBudget budget;
+  budget.max_states = options.max_states;
+  budget.max_seconds = options.max_seconds;
+  budget.cancel = options.cancel;
+  RunClock local_clock("discrete", budget, options.progress,
+                       options.progress_interval);
+  RunClock& clock = options.clock ? *options.clock : local_clock;
   DiscreteVerifyResult result;
 
   std::unordered_map<StateId::underlying_type, std::vector<const ChokeRecord*>>
       chokes_at;
+  chokes_at.reserve(64);
   for (const ChokeRecord& c : chokes) chokes_at[c.state.value()].push_back(&c);
 
   auto pseudo_enabled = [&](StateId s) {
@@ -65,6 +71,9 @@ DiscreteVerifyResult discrete_explore(
   std::deque<Config> queue;
   std::vector<bool> discrete_seen(ts.num_states(), false);
   std::size_t discrete_count = 0;
+  // Digitized exploration routinely visits 10^5-10^6 configs; a generous
+  // initial bucket count avoids a cascade of rehashes on the hot path.
+  seen.reserve(std::min<std::size_t>(options.max_states, 1u << 16));
 
   auto push = [&](Config c) {
     if (seen.emplace(c, true).second) {
@@ -86,16 +95,21 @@ DiscreteVerifyResult discrete_explore(
   auto finish = [&](DiscreteVerifyResult r) {
     r.states_explored = seen.size();
     r.discrete_states = discrete_count;
-    r.seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
+    r.seconds = clock.seconds();
     return r;
   };
 
   while (!queue.empty()) {
     if (seen.size() > options.max_states) {
       result.truncated = true;
+      result.truncated_reason = stop_reason::kStateBudget;
       RTV_WARN << "discrete exploration truncated at " << seen.size();
+      break;
+    }
+    if (const char* reason = clock.tick(seen.size())) {
+      result.truncated = true;
+      result.truncated_reason = reason;
+      RTV_WARN << "discrete exploration stopped: " << reason;
       break;
     }
     const Config cfg = queue.front();
@@ -184,14 +198,34 @@ DiscreteVerifyResult discrete_verify(
     const std::vector<const Module*>& modules,
     const std::vector<const SafetyProperty*>& properties,
     const DiscreteVerifyOptions& options) {
+  // One clock for the whole run: composition counts against the deadline
+  // and cancellation budget, and seconds include the compose phase.
+  RunBudget budget;
+  budget.max_states = options.max_states;
+  budget.max_seconds = options.max_seconds;
+  budget.cancel = options.cancel;
+  RunClock clock("discrete", budget, options.progress,
+                 options.progress_interval);
   ComposeOptions copts;
   copts.track_chokes = options.track_chokes;
   copts.max_states = options.max_states;
+  copts.stop = [&clock](std::size_t states) { return clock.tick(states); };
   const Composition comp = compose(modules, copts);
-  DiscreteVerifyResult r =
-      discrete_explore(comp.ts, properties, comp.chokes, options);
-  if (comp.truncated) r.truncated = true;
-  return r;
+  if (comp.truncated) {
+    // A truncated composition has frontier states with no outgoing
+    // transitions; exploring it would fabricate deadlocks (and mangle
+    // enabled sets), so no verdict can be trusted — report inconclusive
+    // without exploring, like the refinement engine does.
+    DiscreteVerifyResult r;
+    r.truncated = true;
+    r.truncated_reason = comp.truncated_reason ? comp.truncated_reason
+                                               : stop_reason::kComposeBudget;
+    r.seconds = clock.seconds();
+    return r;
+  }
+  DiscreteVerifyOptions opts = options;
+  opts.clock = &clock;
+  return discrete_explore(comp.ts, properties, comp.chokes, opts);
 }
 
 }  // namespace rtv

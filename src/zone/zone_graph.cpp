@@ -1,7 +1,6 @@
 #include "rtv/zone/zone_graph.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <deque>
 #include <unordered_map>
 
@@ -28,11 +27,18 @@ ZoneVerifyResult zone_explore(const TransitionSystem& ts,
                               const std::vector<const SafetyProperty*>& properties,
                               std::span<const ChokeRecord> chokes,
                               const ZoneVerifyOptions& options) {
-  const auto t0 = std::chrono::steady_clock::now();
+  RunBudget budget;
+  budget.max_states = options.max_zones;
+  budget.max_seconds = options.max_seconds;
+  budget.cancel = options.cancel;
+  RunClock local_clock("zone", budget, options.progress,
+                       options.progress_interval);
+  RunClock& clock = options.clock ? *options.clock : local_clock;
   ZoneVerifyResult result;
 
   std::unordered_map<StateId::underlying_type, std::vector<const ChokeRecord*>>
       chokes_at;
+  chokes_at.reserve(64);
   for (const ChokeRecord& c : chokes) chokes_at[c.state.value()].push_back(&c);
 
   // Clocks are tracked for "pseudo-enabled" events: composed-enabled ones
@@ -62,6 +68,10 @@ ZoneVerifyResult zone_explore(const TransitionSystem& ts,
   std::deque<std::size_t> queue;
   std::vector<bool> discrete_seen(ts.num_states(), false);
   std::size_t discrete_count = 0;
+  // Exploration typically visits thousands of zones; pre-sizing the node
+  // arena and the per-state index avoids the early rehash/realloc churn.
+  nodes.reserve(std::min<std::size_t>(options.max_zones, 4096));
+  stored.reserve(std::min<std::size_t>(ts.num_states(), 4096));
 
   auto unwind_labels = [&](std::ptrdiff_t leaf) {
     std::vector<std::string> out;
@@ -106,16 +116,21 @@ ZoneVerifyResult zone_explore(const TransitionSystem& ts,
   auto finish = [&](ZoneVerifyResult r) {
     r.zones_explored = nodes.size();
     r.discrete_states = discrete_count;
-    r.seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
+    r.seconds = clock.seconds();
     return r;
   };
 
   while (!queue.empty()) {
     if (nodes.size() > options.max_zones) {
       result.truncated = true;
+      result.truncated_reason = stop_reason::kStateBudget;
       RTV_WARN << "zone exploration truncated at " << nodes.size();
+      break;
+    }
+    if (const char* reason = clock.tick(nodes.size())) {
+      result.truncated = true;
+      result.truncated_reason = reason;
+      RTV_WARN << "zone exploration stopped: " << reason;
       break;
     }
     const std::size_t id = queue.front();
@@ -224,13 +239,33 @@ ZoneVerifyResult zone_explore(const TransitionSystem& ts,
 ZoneVerifyResult zone_verify(const std::vector<const Module*>& modules,
                              const std::vector<const SafetyProperty*>& properties,
                              const ZoneVerifyOptions& options) {
+  // One clock for the whole run: composition counts against the deadline
+  // and cancellation budget, and seconds include the compose phase.
+  RunBudget budget;
+  budget.max_states = options.max_zones;
+  budget.max_seconds = options.max_seconds;
+  budget.cancel = options.cancel;
+  RunClock clock("zone", budget, options.progress, options.progress_interval);
   ComposeOptions copts;
   copts.track_chokes = options.track_chokes;
   copts.max_states = options.max_zones;
+  copts.stop = [&clock](std::size_t states) { return clock.tick(states); };
   const Composition comp = compose(modules, copts);
-  ZoneVerifyResult r = zone_explore(comp.ts, properties, comp.chokes, options);
-  if (comp.truncated) r.truncated = true;
-  return r;
+  if (comp.truncated) {
+    // A truncated composition has frontier states with no outgoing
+    // transitions; exploring it would fabricate deadlocks (and mangle
+    // enabled sets), so no verdict can be trusted — report inconclusive
+    // without exploring, like the refinement engine does.
+    ZoneVerifyResult r;
+    r.truncated = true;
+    r.truncated_reason = comp.truncated_reason ? comp.truncated_reason
+                                               : stop_reason::kComposeBudget;
+    r.seconds = clock.seconds();
+    return r;
+  }
+  ZoneVerifyOptions opts = options;
+  opts.clock = &clock;
+  return zone_explore(comp.ts, properties, comp.chokes, opts);
 }
 
 }  // namespace rtv

@@ -24,13 +24,15 @@ int main(int argc, char** argv) {
     const Module stage = make_stage(1);
     printf("stage states: %zu events: %zu\n", stage.ts().num_states(), stage.ts().num_events());
     const ModuleSet set = flat_pipeline(1);
-    Composition c = compose(set.ptrs, {true, 2000000});
+    ComposeOptions copts;
+    copts.track_chokes = true;
+    Composition c = compose(set.ptrs, copts);
     printf("flat1 composed: %zu states, %zu chokes\n", c.ts.num_states(), c.chokes.size());
     return 0;
   }
   if (which == "sim") {
     const ModuleSet set = flat_pipeline(2);
-    Composition c = compose(set.ptrs, {false, 2000000});
+    Composition c = compose(set.ptrs, {});
     printf("flat2 composed: %zu states\n", c.ts.num_states());
     SimOptions so; so.max_events = 200;
     SimTrace tr = simulate(c.ts, so);

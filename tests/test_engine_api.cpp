@@ -1,0 +1,244 @@
+// The unified engine seam (rtv/verify/engine.hpp):
+//
+//   * registry enumeration and lookup,
+//   * verdict parity of all three engines on the Fig. 1 gallery system
+//     and on a boundary-2 obligation of the 2-stage IPCMOS pipeline,
+//   * budgets: a 1-state budget never yields kVerified (the truncation
+//     regression), a tiny wall-clock deadline stops a run, and a
+//     CancelToken fired from the progress callback stops a run mid-way —
+//     always surfacing as Verdict::kInconclusive.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rtv/ipcmos/pipeline.hpp"
+#include "rtv/ts/gallery.hpp"
+#include "rtv/verify/engine.hpp"
+
+namespace rtv {
+namespace {
+
+const Engine* engine(const char* name) {
+  const Engine* e = engine_registry().find(name);
+  EXPECT_NE(e, nullptr) << name;
+  return e;
+}
+
+/// A 3-way race with delay constants scaled by `k`: big enough (for large
+/// k) that the digitized engine explores thousands of configs.
+Module scaled_race(int k) {
+  TransitionSystem ts;
+  const double s = k;
+  const EventId a = ts.add_event("a", DelayInterval::units(1 * s, 2 * s));
+  const EventId b = ts.add_event("b", DelayInterval::units(1 * s, 3 * s));
+  const EventId c = ts.add_event("c", DelayInterval::units(2 * s, 3 * s));
+  StateId grid[2][2][2];
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 2; ++j)
+      for (int l = 0; l < 2; ++l) grid[i][j][l] = ts.add_state();
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 2; ++j)
+      for (int l = 0; l < 2; ++l) {
+        if (!i) ts.add_transition(grid[i][j][l], a, grid[1][j][l]);
+        if (!j) ts.add_transition(grid[i][j][l], b, grid[i][1][l]);
+        if (!l) ts.add_transition(grid[i][j][l], c, grid[i][j][1]);
+      }
+  ts.set_initial(grid[0][0][0]);
+  return Module("race3", std::move(ts));
+}
+
+TEST(EngineRegistry, EnumeratesTheThreeBuiltInEngines) {
+  const auto names = engine_registry().names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "refine"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "zone"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "discrete"), names.end());
+  EXPECT_EQ(engine_registry().engines().size(), names.size());
+  for (const Engine* e : engine_registry().engines()) {
+    EXPECT_EQ(engine_registry().find(e->name()), e);
+    EXPECT_FALSE(e->description().empty());
+  }
+  EXPECT_EQ(engine_registry().find("no-such-engine"), nullptr);
+}
+
+TEST(EngineParity, Fig1GalleryVerifiedByAllEngines) {
+  const Module sys = gallery::intro_example();
+  const Module mon = gallery::order_monitor("g", "d");
+  const InvariantProperty bad("g before d", {{"fail", true}});
+  EngineRequest req;
+  req.modules = {&sys, &mon};
+  req.properties = {&bad};
+  for (const Engine* e : engine_registry().engines()) {
+    const EngineResult r = e->run(req);
+    EXPECT_EQ(r.verdict, Verdict::kVerified) << e->name();
+    EXPECT_TRUE(r.truncated_reason.empty()) << e->name();
+    EXPECT_GT(r.states_explored, 0u) << e->name();
+  }
+}
+
+TEST(EngineParity, Fig1ReversedOrderViolatedByAllEngines) {
+  const Module sys = gallery::intro_example();
+  const Module mon = gallery::order_monitor("d", "g");
+  const InvariantProperty bad("d before g", {{"fail", true}});
+  EngineRequest req;
+  req.modules = {&sys, &mon};
+  req.properties = {&bad};
+  for (const Engine* e : engine_registry().engines()) {
+    const EngineResult r = e->run(req);
+    EXPECT_EQ(r.verdict, Verdict::kViolated) << e->name();
+    EXPECT_FALSE(r.message.empty()) << e->name();
+  }
+}
+
+TEST(EngineParity, IpcmosBoundary2OfTwoStagePipeline) {
+  // The 2-stage pipeline's boundary-2 obligation (the induction base,
+  // experiment 3): IN || I1 || A_out(2) must stay within A_in(2), which
+  // runs as a monitor so refusals surface as chokes.
+  const ipcmos::PipelineTiming t;
+  const Module in = ipcmos::make_in_env(t);
+  const Module stage = ipcmos::make_stage(1, t);
+  const Module aout = ipcmos::make_aout(2);
+  const Module ain = ipcmos::make_ain(2);
+  const Module mon = ain.as_monitor("Ain2'");
+  const DeadlockFreedom dead;
+  const PersistencyProperty pers;
+  EngineRequest req;
+  req.modules = {&in, &stage, &aout, &mon};
+  req.properties = {&dead, &pers};
+  for (const Engine* e : engine_registry().engines()) {
+    const EngineResult r = e->run(req);
+    EXPECT_EQ(r.verdict, Verdict::kVerified) << e->name() << ": " << r.message;
+  }
+}
+
+TEST(EngineBudget, OneStateBudgetIsNeverVerified) {
+  // Regression for the verdict-semantics drift: a truncated run used to
+  // surface as violated=false, which callers read as "verified".  The
+  // deadlock property also guards against the dual failure mode: frontier
+  // states of a truncated composition have no outgoing transitions and
+  // must not be reported as (spurious) deadlock violations.
+  const Module sys = gallery::intro_example();
+  const Module mon = gallery::order_monitor("g", "d");
+  const InvariantProperty bad("g before d", {{"fail", true}});
+  const DeadlockFreedom dead;
+  EngineRequest req;
+  req.modules = {&sys, &mon};
+  req.properties = {&bad, &dead};
+  req.budget.max_states = 1;
+  for (const Engine* e : engine_registry().engines()) {
+    const EngineResult r = e->run(req);
+    EXPECT_NE(r.verdict, Verdict::kVerified) << e->name();
+    EXPECT_EQ(r.verdict, Verdict::kInconclusive) << e->name();
+    EXPECT_FALSE(r.truncated_reason.empty()) << e->name();
+  }
+}
+
+TEST(EngineBudget, DeadlineStopsRunEarlyWithInconclusive) {
+  const Module sys = scaled_race(64);
+  const Module mon = gallery::order_monitor("a", "c");
+  const InvariantProperty bad("a before c", {{"fail", true}});
+  EngineRequest req;
+  req.modules = {&sys, &mon};
+  req.properties = {&bad};
+  req.budget.max_seconds = 1e-9;  // expires before the first state pops
+  for (const Engine* e : engine_registry().engines()) {
+    const EngineResult r = e->run(req);
+    EXPECT_EQ(r.verdict, Verdict::kInconclusive) << e->name();
+    EXPECT_EQ(r.truncated_reason, stop_reason::kDeadline) << e->name();
+  }
+}
+
+TEST(EngineBudget, CancelTokenStopsRunEarlyWithInconclusive) {
+  const Module sys = scaled_race(64);
+  const Module mon = gallery::order_monitor("a", "c");
+  const InvariantProperty bad("a before c", {{"fail", true}});
+
+  // Pre-cancelled token: every engine refuses to explore.
+  {
+    CancelToken token;
+    token.cancel();
+    EngineRequest req;
+    req.modules = {&sys, &mon};
+    req.properties = {&bad};
+    req.budget.cancel = &token;
+    for (const Engine* e : engine_registry().engines()) {
+      const EngineResult r = e->run(req);
+      EXPECT_EQ(r.verdict, Verdict::kInconclusive) << e->name();
+      EXPECT_EQ(r.truncated_reason, stop_reason::kCancelled) << e->name();
+    }
+  }
+
+  // Cancellation fired from the progress callback: the digitized engine
+  // (thousands of configs on this system) must stop mid-run.
+  {
+    CancelToken token;
+    std::size_t callbacks = 0;
+    EngineRequest req;
+    req.modules = {&sys, &mon};
+    req.properties = {&bad};
+    req.budget.cancel = &token;
+    req.progress_interval = 16;
+    req.progress = [&](const EngineProgress& p) {
+      ++callbacks;
+      EXPECT_EQ(p.engine, "discrete");
+      token.cancel();
+    };
+    EngineRequest unbudgeted;
+    unbudgeted.modules = {&sys, &mon};
+    unbudgeted.properties = {&bad};
+    const EngineResult full = engine("discrete")->run(unbudgeted);
+    const EngineResult r = engine("discrete")->run(req);
+    EXPECT_GE(callbacks, 1u);
+    EXPECT_EQ(r.verdict, Verdict::kInconclusive);
+    EXPECT_EQ(r.truncated_reason, stop_reason::kCancelled);
+    EXPECT_LT(r.states_explored, full.states_explored);
+  }
+}
+
+TEST(EngineResultApi, VerdictHelpersAndStats) {
+  const Module sys = gallery::intro_example();
+  const Module mon = gallery::order_monitor("g", "d");
+  const InvariantProperty bad("g before d", {{"fail", true}});
+  EngineRequest req;
+  req.modules = {&sys, &mon};
+  req.properties = {&bad};
+
+  const EngineResult rt = engine("refine")->run(req);
+  EXPECT_TRUE(rt.verified());
+  EXPECT_FALSE(rt.violated());
+  EXPECT_FALSE(rt.inconclusive());
+  const auto* rst = std::get_if<RefineEngineStats>(&rt.stats);
+  ASSERT_NE(rst, nullptr);
+  EXPECT_GT(rst->composed_states, 0u);
+  EXPECT_FALSE(rst->constraints.empty());
+
+  const EngineResult zn = engine("zone")->run(req);
+  const auto* zst = std::get_if<ZoneEngineStats>(&zn.stats);
+  ASSERT_NE(zst, nullptr);
+  EXPECT_GT(zn.states_explored, 0u);
+  EXPECT_GT(zst->discrete_states, 0u);
+
+  const EngineResult dg = engine("discrete")->run(req);
+  const auto* dst = std::get_if<DiscreteEngineStats>(&dg.stats);
+  ASSERT_NE(dst, nullptr);
+  EXPECT_GT(dg.states_explored, 0u);
+  EXPECT_GT(dst->discrete_states, 0u);
+}
+
+TEST(EngineResultApi, ViolationCarriesTraceLabels) {
+  const Module sys = gallery::intro_example();
+  const Module mon = gallery::order_monitor("d", "g");
+  const InvariantProperty bad("d before g", {{"fail", true}});
+  EngineRequest req;
+  req.modules = {&sys, &mon};
+  req.properties = {&bad};
+  // The exact engines unwind a concrete timed trace; refine reports the
+  // counterexample firing sequence.
+  for (const char* name : {"refine", "zone"}) {
+    const EngineResult r = engine(name)->run(req);
+    ASSERT_EQ(r.verdict, Verdict::kViolated) << name;
+    EXPECT_FALSE(r.trace_labels.empty()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace rtv

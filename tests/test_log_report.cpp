@@ -32,7 +32,7 @@ TEST(Report, TableAlignsColumns) {
   b.verdict = Verdict::kCounterexample;
   const std::string t = format_table({a, b});
   EXPECT_NE(t.find("VERIFIED"), std::string::npos);
-  EXPECT_NE(t.find("COUNTEREXAMPLE"), std::string::npos);
+  EXPECT_NE(t.find("VIOLATED"), std::string::npos);
   EXPECT_NE(t.find("1.500 s"), std::string::npos);
   EXPECT_NE(t.find("42"), std::string::npos);
   // Header present.
@@ -48,7 +48,9 @@ TEST(Report, EmptyResultFormats) {
 
 TEST(Report, VerdictNames) {
   EXPECT_STREQ(to_string(Verdict::kVerified), "VERIFIED");
-  EXPECT_STREQ(to_string(Verdict::kCounterexample), "COUNTEREXAMPLE");
+  EXPECT_STREQ(to_string(Verdict::kViolated), "VIOLATED");
+  // kCounterexample is a source-compatibility alias for kViolated.
+  EXPECT_STREQ(to_string(Verdict::kCounterexample), "VIOLATED");
   EXPECT_STREQ(to_string(Verdict::kInconclusive), "INCONCLUSIVE");
 }
 

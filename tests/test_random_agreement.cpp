@@ -1,17 +1,30 @@
 // Cross-validation sweep: on random small timed systems the relative-timing
-// refinement engine and the exact zone engine must agree.
-//
-//  * verified      => the zone graph reaches no violation,
-//  * counterexample => the zone graph reaches a violation.
+// refinement engine and the exact zone engine must agree.  Both run through
+// the unified engine registry, so agreement is literal Verdict equality.
 #include <gtest/gtest.h>
 
 #include "rtv/base/rng.hpp"
 #include "rtv/ts/gallery.hpp"
-#include "rtv/verify/refinement.hpp"
-#include "rtv/zone/zone_graph.hpp"
+#include "rtv/verify/engine.hpp"
 
 namespace rtv {
 namespace {
+
+/// Verdicts of the "refine" and "zone" registry engines on one obligation.
+std::pair<EngineResult, EngineResult> run_refine_and_zone(
+    const std::vector<const Module*>& modules,
+    const std::vector<const SafetyProperty*>& properties,
+    std::size_t max_refinements = 500) {
+  const Engine* refine = engine_registry().find("refine");
+  const Engine* zone = engine_registry().find("zone");
+  EXPECT_NE(refine, nullptr);
+  EXPECT_NE(zone, nullptr);
+  EngineRequest req;
+  req.modules = modules;
+  req.properties = properties;
+  req.max_refinements = max_refinements;
+  return {refine->run(req), zone->run(req)};
+}
 
 /// Random acyclic "progress graph": two independent chains with random
 /// delays whose events interleave, plus an ordering property between one
@@ -68,16 +81,15 @@ TEST_P(RandomAgreement, RefinementMatchesZoneVerdict) {
   const Module mon = gallery::order_monitor(first, then);
   const InvariantProperty bad("order", {{"fail", true}});
 
-  VerifyOptions opts;
-  opts.max_refinements = 300;
-  const VerificationResult rt = verify_modules({&sys, &mon}, {&bad}, opts);
-  const ZoneVerifyResult zn = zone_verify({&sys, &mon}, {&bad});
+  const auto [rt, zn] = run_refine_and_zone({&sys, &mon}, {&bad}, 300);
 
   ASSERT_NE(rt.verdict, Verdict::kInconclusive)
       << "seed " << GetParam() << " property " << first << " < " << then;
-  EXPECT_EQ(rt.verdict == Verdict::kVerified, !zn.violated)
+  ASSERT_NE(zn.verdict, Verdict::kInconclusive)
+      << "seed " << GetParam() << " property " << first << " < " << then;
+  EXPECT_EQ(rt.verdict, zn.verdict)
       << "seed " << GetParam() << " property " << first << " < " << then
-      << " zone: " << zn.description;
+      << " zone: " << zn.message;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomAgreement, ::testing::Range(0, 40));
@@ -107,10 +119,10 @@ TEST_P(RandomPersistency, RefinementMatchesZoneVerdict) {
   const Module sys("conflict", std::move(ts));
   const PersistencyProperty pers;
 
-  const VerificationResult rt = verify_modules({&sys}, {&pers});
-  const ZoneVerifyResult zn = zone_verify({&sys}, {&pers});
+  const auto [rt, zn] = run_refine_and_zone({&sys}, {&pers});
   ASSERT_NE(rt.verdict, Verdict::kInconclusive);
-  EXPECT_EQ(rt.verdict == Verdict::kVerified, !zn.violated)
+  ASSERT_NE(zn.verdict, Verdict::kInconclusive);
+  EXPECT_EQ(rt.verdict, zn.verdict)
       << "x [" << xlo << "," << xhi << "] y [" << ylo << "," << yhi << "]";
 }
 

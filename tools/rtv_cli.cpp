@@ -1,6 +1,9 @@
 // rtv — command-line front end.
 //
-//   rtv verify   a.g b.g ...   [--no-deadlock] [--no-persistency] [--max-ref N]
+//   rtv verify   a.g b.g ...   [--engine NAME] [--timeout S] [--max-states N]
+//                              [--no-deadlock] [--no-persistency] [--max-ref N]
+//                              [--progress]
+//   rtv engines                (list the registered verification engines)
 //   rtv simulate a.g b.g ...   [--events N] [--seed S] [--vcd out.vcd] [--signals s1,s2]
 //   rtv dot      a.g           (marking graph as graphviz)
 //   rtv minimize a.g           (bisimulation quotient statistics)
@@ -8,7 +11,8 @@
 //
 // All .g inputs use the astg format with the library's `.delay` / `.initial`
 // extensions (see rtv/stg/astg.hpp).  Multiple files compose over their
-// shared signal alphabets.
+// shared signal alphabets.  `verify` runs any engine from engine_registry()
+// ("refine" by default); all engines answer with the same unified verdict.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -23,6 +27,7 @@
 #include "rtv/stg/elaborate.hpp"
 #include "rtv/ts/dot.hpp"
 #include "rtv/ts/minimize.hpp"
+#include "rtv/verify/engine.hpp"
 #include "rtv/verify/report.hpp"
 
 using namespace rtv;
@@ -32,7 +37,10 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  rtv verify   <stg.g>... [--no-deadlock] [--no-persistency] [--max-ref N]\n"
+               "  rtv verify   <stg.g>... [--engine NAME] [--timeout S] [--max-states N]\n"
+               "                          [--no-deadlock] [--no-persistency] [--max-ref N]\n"
+               "                          [--progress]\n"
+               "  rtv engines\n"
                "  rtv simulate <stg.g>... [--events N] [--seed S] [--vcd FILE] [--signals a,b]\n"
                "  rtv dot      <stg.g>\n"
                "  rtv minimize <stg.g>\n"
@@ -40,10 +48,51 @@ int usage() {
   return 2;
 }
 
+void list_engines(std::FILE* out) {
+  for (const Engine* e : engine_registry().engines()) {
+    std::fprintf(out, "  %-10s %s\n",
+                 std::string(e->name()).c_str(),
+                 std::string(e->description()).c_str());
+  }
+}
+
+int cmd_engines() {
+  std::printf("registered verification engines:\n");
+  list_engines(stdout);
+  return 0;
+}
+
 Stg load(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open " + path);
   return parse_astg(in);
+}
+
+/// Numeric flag values; a malformed or negative value is a usage error
+/// (exit 2), not an uncaught exception or a silent 2^64 wrap-around.
+std::size_t parse_size(const std::string& flag, const std::string& value) {
+  if (!value.empty() &&
+      value.find_first_not_of("0123456789") == std::string::npos) {
+    try {
+      return static_cast<std::size_t>(std::stoull(value));
+    } catch (const std::exception&) {
+    }
+  }
+  std::fprintf(stderr, "invalid value '%s' for %s\n", value.c_str(),
+               flag.c_str());
+  std::exit(2);
+}
+
+double parse_double(const std::string& flag, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(value, &pos);
+    if (pos == value.size() && v >= 0.0) return v;
+  } catch (const std::exception&) {
+  }
+  std::fprintf(stderr, "invalid value '%s' for %s\n", value.c_str(),
+               flag.c_str());
+  std::exit(2);
 }
 
 std::vector<std::string> split_csv(const std::string& s) {
@@ -77,21 +126,78 @@ LoadedModules load_all(const std::vector<std::string>& files) {
   return out;
 }
 
-int cmd_verify(const std::vector<std::string>& files, bool deadlock,
-               bool persistency, std::size_t max_ref) {
+struct VerifyCliOptions {
+  std::string engine = "refine";
+  bool deadlock = true;
+  bool persistency = true;
+  std::size_t max_ref = 500;
+  std::size_t max_states = 0;  // 0 = the engine's native default
+  double timeout_seconds = 0.0;
+  bool progress = false;
+};
+
+int cmd_verify(const std::vector<std::string>& files,
+               const VerifyCliOptions& cli) {
+  const Engine* engine = engine_registry().find(cli.engine);
+  if (!engine) {
+    std::fprintf(stderr, "unknown engine '%s'; registered engines:\n",
+                 cli.engine.c_str());
+    list_engines(stderr);
+    return 2;
+  }
+
   const LoadedModules mods = load_all(files);
   DeadlockFreedom dead;
   PersistencyProperty pers;
   std::vector<const SafetyProperty*> props;
-  if (deadlock) props.push_back(&dead);
-  if (persistency) props.push_back(&pers);
-  VerifyOptions opts;
-  opts.max_refinements = max_ref;
-  const VerificationResult r = verify_modules(mods.ptrs, props, opts);
-  std::printf("%s", format_report("verify", r).c_str());
-  if (r.verdict == Verdict::kVerified && !r.constraints().empty()) {
-    std::printf("\nrelative timing constraints:\n%s",
-                format_constraints(r).c_str());
+  if (cli.deadlock) props.push_back(&dead);
+  if (cli.persistency) props.push_back(&pers);
+
+  EngineRequest req;
+  req.modules = mods.ptrs;
+  req.properties = props;
+  req.budget.max_states = cli.max_states;
+  req.budget.max_seconds = cli.timeout_seconds;
+  req.max_refinements = cli.max_ref;
+  if (cli.progress) {
+    req.progress = [](const EngineProgress& p) {
+      std::fprintf(stderr, "[%.*s] %zu states, %.1f s\n",
+                   static_cast<int>(p.engine.size()), p.engine.data(),
+                   p.states_explored, p.seconds);
+    };
+  }
+
+  const EngineResult r = engine->run(req);
+  std::printf("== verify (engine: %s) ==\n", cli.engine.c_str());
+  std::printf("verdict:      %s\n", to_string(r.verdict));
+  // Each engine counts its own exploration unit.
+  if (const auto* zs = std::get_if<ZoneEngineStats>(&r.stats)) {
+    std::printf("explored:     %zu zones (%zu discrete states)\n",
+                r.states_explored, zs->discrete_states);
+  } else if (const auto* ds = std::get_if<DiscreteEngineStats>(&r.stats)) {
+    std::printf("explored:     %zu configs (%zu discrete states)\n",
+                r.states_explored, ds->discrete_states);
+  } else {
+    std::printf("explored:     %zu states\n", r.states_explored);
+  }
+  std::printf("time:         %.3f s\n", r.seconds);
+  if (!r.message.empty() && r.message != r.truncated_reason)
+    std::printf("note:         %s\n", r.message.c_str());
+  if (!r.truncated_reason.empty())
+    std::printf("truncated:    %s\n", r.truncated_reason.c_str());
+  if (!r.trace_labels.empty()) {
+    std::printf("trace:       ");
+    for (const std::string& l : r.trace_labels) std::printf(" %s", l.c_str());
+    std::printf("\n");
+  }
+  if (const auto* st = std::get_if<RefineEngineStats>(&r.stats)) {
+    std::printf("refinements:  %d\n", st->refinements);
+    std::printf("composed:     %zu states\n", st->composed_states);
+    if (r.verified() && !st->constraints.empty()) {
+      std::printf("\nrelative timing constraints:\n");
+      for (const std::string& c : st->constraints)
+        std::printf("%s\n", c.c_str());
+    }
   }
   return r.verified() ? 0 : 1;
 }
@@ -154,8 +260,8 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   std::vector<std::string> files;
-  bool deadlock = true, persistency = true;
-  std::size_t max_ref = 500, events = 200;
+  VerifyCliOptions vopts;
+  std::size_t events = 200;
   std::uint64_t seed = 1;
   std::string vcd;
   std::vector<std::string> signals;
@@ -170,15 +276,23 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--no-deadlock") {
-      deadlock = false;
+      vopts.deadlock = false;
     } else if (arg == "--no-persistency") {
-      persistency = false;
+      vopts.persistency = false;
     } else if (arg == "--max-ref") {
-      max_ref = static_cast<std::size_t>(std::stoul(next()));
+      vopts.max_ref = parse_size(arg, next());
+    } else if (arg == "--engine") {
+      vopts.engine = next();
+    } else if (arg == "--timeout") {
+      vopts.timeout_seconds = parse_double(arg, next());
+    } else if (arg == "--max-states") {
+      vopts.max_states = parse_size(arg, next());
+    } else if (arg == "--progress") {
+      vopts.progress = true;
     } else if (arg == "--events") {
-      events = static_cast<std::size_t>(std::stoul(next()));
+      events = parse_size(arg, next());
     } else if (arg == "--seed") {
-      seed = std::stoull(next());
+      seed = parse_size(arg, next());
     } else if (arg == "--vcd") {
       vcd = next();
     } else if (arg == "--signals") {
@@ -192,8 +306,8 @@ int main(int argc, char** argv) {
   }
 
   try {
-    if (cmd == "verify" && !files.empty())
-      return cmd_verify(files, deadlock, persistency, max_ref);
+    if (cmd == "verify" && !files.empty()) return cmd_verify(files, vopts);
+    if (cmd == "engines") return cmd_engines();
     if (cmd == "simulate" && !files.empty())
       return cmd_simulate(files, events, seed, vcd, signals);
     if (cmd == "dot" && files.size() == 1) return cmd_dot(files[0]);
