@@ -6,9 +6,9 @@
 //
 // The paper's Section 1 argues that exact timed state spaces (zones,
 // regions, discretization) scale poorly with clock count and constant
-// magnitude, motivating relative timing.  This bench measures every engine
-// registered in engine_registry() on the same obligations — a new backend
-// shows up in the table just by registering — including a
+// magnitude, motivating relative timing.  The whole comparison is one
+// declarative rtv::Suite run in batch mode over every registered engine —
+// a new backend shows up in the table just by registering — including a
 // constant-magnitude sweep where the digitized engine's cost grows with
 // the constants while zones and relative timing stay flat.
 #include <cstdio>
@@ -19,25 +19,12 @@
 #include "rtv/ipcmos/experiments.hpp"
 #include "rtv/ts/gallery.hpp"
 #include "rtv/verify/engine.hpp"
+#include "rtv/verify/suite.hpp"
 
 using namespace rtv;
 using namespace rtv::ipcmos;
 
 namespace {
-
-/// Run every registered engine on one obligation; returns per-engine
-/// results in registry order.
-std::vector<EngineResult> run_all(const std::vector<const Module*>& modules,
-                                  const std::vector<const SafetyProperty*>& props) {
-  std::vector<EngineResult> out;
-  for (const Engine* e : engine_registry().engines()) {
-    EngineRequest req;
-    req.modules = modules;
-    req.properties = props;
-    out.push_back(e->run(req));
-  }
-  return out;
-}
 
 /// Each engine counts its own exploration unit (EngineResult doc).
 const char* unit_of(std::string_view engine) {
@@ -46,94 +33,94 @@ const char* unit_of(std::string_view engine) {
   return "(states)";
 }
 
-void print_header() {
-  std::printf("%-36s", "system");
-  for (const Engine* e : engine_registry().engines())
-    std::printf(" %14s", std::string(e->name()).c_str());
-  std::printf("\n%-36s", "");
-  for (const Engine* e : engine_registry().engines())
-    std::printf(" %14s", unit_of(e->name()));
-  std::printf("\n");
-}
-
-void print_row(const char* name, const std::vector<EngineResult>& rs) {
-  std::printf("%-36s", name);
-  for (const EngineResult& r : rs) std::printf(" %14zu", r.states_explored);
-  std::printf("\n");
-}
-
-bool verdicts_agree(const std::vector<EngineResult>& rs) {
-  for (const EngineResult& r : rs)
-    if (r.verdict != rs.front().verdict) return false;
+bool verdicts_agree(const std::vector<SuiteRecord>& recs, std::size_t first,
+                    std::size_t count) {
+  for (std::size_t j = 1; j < count; ++j)
+    if (recs[first + j].result.verdict != recs[first].result.verdict)
+      return false;
   return true;
 }
 
 }  // namespace
 
 int main() {
-  print_header();
+  const std::vector<std::string> engines = engine_registry().names();
+  const std::size_t n = engines.size();
 
-  // Intro example.
+  // One suite: the intro example, the IPCMOS 1-stage pipeline, and the
+  // constant-magnitude sweep.  Batch mode over every engine = the full
+  // obligation×engine matrix, obligations in parallel.
+  Suite suite;
   {
-    const Module sys = gallery::intro_example();
-    const Module mon = gallery::order_monitor("g", "d");
-    const InvariantProperty bad("g before d", {{"fail", true}});
-    const auto rs = run_all({&sys, &mon}, {&bad});
-    print_row("intro example", rs);
+    const Module* sys = suite.own(gallery::intro_example());
+    const Module* mon = suite.own(gallery::order_monitor("g", "d"));
+    const SafetyProperty* bad = suite.own(std::make_unique<InvariantProperty>(
+        "g before d",
+        std::vector<InvariantProperty::Literal>{{"fail", true}}));
+    suite.add("intro example", {sys, mon}, {bad});
   }
-
-  // IPCMOS 1-stage.
   {
     const ExperimentConfig cfg;
-    const ModuleSet set = flat_pipeline(1, cfg.timing);
+    ModuleSet set = flat_pipeline(1, cfg.timing);
+    std::vector<const Module*> modules;
+    for (auto& m : set.owned) modules.push_back(suite.own(std::move(*m)));
     const Netlist nl =
         make_stage_netlist("I1", linear_channels(1), cfg.timing.stage);
-    const auto scs = short_circuit_properties(nl);
-    const DeadlockFreedom dead;
-    const PersistencyProperty pers;
-    std::vector<const SafetyProperty*> props{&dead, &pers};
-    for (const auto& p : scs) props.push_back(p.get());
-    const auto rs = run_all(set.ptrs, props);
-    print_row("IPCMOS 1-stage (exp 5)", rs);
-    std::printf("  verdicts:");
-    for (const EngineResult& r : rs) std::printf(" %s", to_string(r.verdict));
-    std::printf("\n");
+    std::vector<const SafetyProperty*> props{
+        suite.own(std::make_unique<DeadlockFreedom>()),
+        suite.own(std::make_unique<PersistencyProperty>())};
+    for (auto& p : short_circuit_properties(nl))
+      props.push_back(suite.own(std::move(p)));
+    suite.add("IPCMOS 1-stage (exp 5)", std::move(modules), std::move(props));
+  }
+  std::vector<std::string> sweep_names;
+  for (int k = 1; k <= 8; k *= 2) {
+    const Module* sys = suite.own(gallery::scaled_race(k));
+    const Module* mon = suite.own(gallery::order_monitor("a", "c"));
+    const SafetyProperty* bad = suite.own(std::make_unique<InvariantProperty>(
+        "a before c",
+        std::vector<InvariantProperty::Literal>{{"fail", true}}));
+    sweep_names.push_back("race3 k=" + std::to_string(k));
+    suite.add(sweep_names.back(), {sys, mon}, {bad});
   }
 
-  // Constant-magnitude sweep on a 3-way race: digitization pays per tick.
+  SuiteOptions opts;
+  opts.engines = engines;  // full matrix, registry order
+  const SuiteReport report = run_suite(suite, opts);
+  const std::vector<SuiteRecord>& recs = report.records;
+
+  std::printf("%-36s", "system");
+  for (const std::string& e : engines) std::printf(" %14s", e.c_str());
+  std::printf("\n%-36s", "");
+  for (const std::string& e : engines) std::printf(" %14s", unit_of(e));
+  std::printf("\n");
+  for (std::size_t row = 0; row < 2; ++row) {
+    std::printf("%-36s", recs[row * n].obligation.c_str());
+    for (std::size_t j = 0; j < n; ++j)
+      std::printf(" %14zu", recs[row * n + j].result.states_explored);
+    std::printf("\n");
+  }
+  std::printf("  verdicts (IPCMOS 1-stage):");
+  for (std::size_t j = 0; j < n; ++j)
+    std::printf(" %s", to_string(recs[n + j].result.verdict));
+  std::printf("\n");
+
   std::printf("\nconstant-magnitude sweep (3 concurrent chains, scale k):\n");
   std::printf("%6s", "k");
-  for (const Engine* e : engine_registry().engines())
-    std::printf(" %14s", std::string(e->name()).c_str());
+  for (const std::string& e : engines) std::printf(" %14s", e.c_str());
   std::printf("\n");
-  for (int k = 1; k <= 8; k *= 2) {
-    TransitionSystem ts;
-    const double s = k;
-    const EventId a = ts.add_event("a", DelayInterval::units(1 * s, 2 * s));
-    const EventId b = ts.add_event("b", DelayInterval::units(1 * s, 3 * s));
-    const EventId c = ts.add_event("c", DelayInterval::units(2 * s, 3 * s));
-    StateId grid[2][2][2];
-    for (int i = 0; i < 2; ++i)
-      for (int j = 0; j < 2; ++j)
-        for (int l = 0; l < 2; ++l) grid[i][j][l] = ts.add_state();
-    for (int i = 0; i < 2; ++i)
-      for (int j = 0; j < 2; ++j)
-        for (int l = 0; l < 2; ++l) {
-          if (!i) ts.add_transition(grid[i][j][l], a, grid[1][j][l]);
-          if (!j) ts.add_transition(grid[i][j][l], b, grid[i][1][l]);
-          if (!l) ts.add_transition(grid[i][j][l], c, grid[i][j][1]);
-        }
-    ts.set_initial(grid[0][0][0]);
-    const Module m("race3", std::move(ts));
-    const Module mon = gallery::order_monitor("a", "c");
-    const InvariantProperty bad("a before c", {{"fail", true}});
-    const auto rs = run_all({&m, &mon}, {&bad});
+  std::size_t row = 2;
+  for (int k = 1; k <= 8; k *= 2, ++row) {
     std::printf("%6d", k);
-    for (const EngineResult& r : rs) std::printf(" %14zu", r.states_explored);
-    std::printf("   (all agree: %s)\n", verdicts_agree(rs) ? "yes" : "NO");
+    for (std::size_t j = 0; j < n; ++j)
+      std::printf(" %14zu", recs[row * n + j].result.states_explored);
+    std::printf("   (all agree: %s)\n",
+                verdicts_agree(recs, row * n, n) ? "yes" : "NO");
   }
   std::printf("\nzones and relative timing are constant in k; digitized "
               "configs grow\nlinearly with the constants — the cost [8] pays "
               "and the paper avoids.\n");
+  std::printf("(suite wall clock: %.3f s on %zu jobs)\n", report.wall_seconds,
+              report.jobs);
   return 0;
 }

@@ -39,8 +39,8 @@ int main() {
     const Module untimed_sys("intro-untimed", std::move(stripped));
     const VerificationResult u = verify_modules({&untimed_sys, &mon}, {&bad});
     std::printf("untimed check: %s (as in Fig. 1(a): d can fire before g)\n",
-                u.verdict == Verdict::kCounterexample ? "VIOLATED"
-                                                      : to_string(u.verdict));
+                u.verdict == Verdict::kViolated ? "VIOLATED"
+                                                : to_string(u.verdict));
   }
 
   // ...the exact timed state space satisfies it...

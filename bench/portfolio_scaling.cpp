@@ -1,0 +1,138 @@
+// Batch wall-clock scaling of the suite scheduler: the same suite of
+// obligations — the Fig. 1 gallery systems, the Table 1 pipeline
+// obligations and the join IPCMOS topology — run with 1, 2, 4, ... worker
+// threads, reporting wall-clock speedup over the sequential run.  A
+// portfolio pass at the end shows the racing mode on one obligation: the
+// winning engine's verdict, the losers cancelled.
+//
+// The suite is embarrassingly parallel (independent obligations), so on an
+// N-core machine the batch wall clock should approach the dominant
+// obligation's own runtime; `--jobs 4` beats `--jobs 1` by roughly the
+// obligation-level parallelism.  The join obligation runs under the same
+// explicit refinement budget as bench/beyond_paper_topologies (its full
+// refined space is out of scale for a scaling study), and the constant-
+// magnitude races are pinned to the digitized engine via the
+// per-obligation engine override — deterministic work per obligation, so
+// job counts only change the schedule, never the verdicts.
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "rtv/circuit/invariants.hpp"
+#include "rtv/ipcmos/experiments.hpp"
+#include "rtv/ipcmos/topologies.hpp"
+#include "rtv/ts/gallery.hpp"
+#include "rtv/verify/suite.hpp"
+
+using namespace rtv;
+using namespace rtv::ipcmos;
+
+namespace {
+
+/// Gallery + IPCMOS topologies: the five Table 1 obligations, the intro
+/// example, the join stage, and four digitized races.
+Suite build_suite() {
+  const ExperimentConfig cfg;
+  Suite suite = table1_suite(cfg);
+  {
+    const Module* sys = suite.own(gallery::intro_example());
+    const Module* mon = suite.own(gallery::order_monitor("g", "d"));
+    const SafetyProperty* bad = suite.own(std::make_unique<InvariantProperty>(
+        "g before d",
+        std::vector<InvariantProperty::Literal>{{"fail", true}}));
+    suite.add("gallery: intro example", {sys, mon}, {bad});
+  }
+  {
+    ModuleSet set = join_system(cfg.timing);
+    std::vector<const Module*> modules;
+    for (auto& m : set.owned) modules.push_back(suite.own(std::move(*m)));
+    std::vector<const SafetyProperty*> props{
+        suite.own(std::make_unique<DeadlockFreedom>()),
+        suite.own(std::make_unique<PersistencyProperty>())};
+    for (auto& p : short_circuit_properties(make_join_netlist(cfg.timing.stage)))
+      props.push_back(suite.own(std::move(p)));
+    Obligation& ob = suite.add("topology: join (2 producers)",
+                               std::move(modules), std::move(props));
+    // The budget bench/beyond_paper_topologies documents for the join.
+    ob.max_refinements = 12;
+    ob.budget.max_states = 1'200'000;
+  }
+  for (int k = 2000; k <= 5000; k += 1000) {
+    const Module* sys = suite.own(gallery::scaled_race(k));
+    const Module* mon = suite.own(gallery::order_monitor("a", "c"));
+    const SafetyProperty* bad = suite.own(std::make_unique<InvariantProperty>(
+        "a before c",
+        std::vector<InvariantProperty::Literal>{{"fail", true}}));
+    Obligation& ob = suite.add("gallery: race3 k=" + std::to_string(k),
+                               {sys, mon}, {bad});
+    ob.engine = "discrete";  // the per-obligation override: digitized work
+  }
+  return suite;
+}
+
+}  // namespace
+
+int main() {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("portfolio_scaling — batch wall clock vs worker threads\n");
+  std::printf("hardware threads: %u\n\n", hw);
+
+  std::vector<std::size_t> job_counts{1};
+  for (std::size_t j = 2; j <= std::max(4u, hw); j *= 2)
+    job_counts.push_back(j);
+
+  std::printf("%6s %12s %10s   verdict\n", "jobs", "wall [s]", "speedup");
+  bool consistent = true;
+  double base = 0.0;
+  Verdict base_verdict = Verdict::kInconclusive;
+  for (const std::size_t jobs : job_counts) {
+    const Suite suite = build_suite();
+    SuiteOptions opts;
+    opts.jobs = jobs;
+    const SuiteReport report = run_suite(suite, opts);
+    if (jobs == job_counts.front()) {
+      base = report.wall_seconds;
+      base_verdict = report.overall();
+    }
+    if (report.overall() != base_verdict) consistent = false;
+    std::printf("%6zu %12.3f %9.2fx   %s\n", jobs, report.wall_seconds,
+                report.wall_seconds > 0 ? base / report.wall_seconds : 0.0,
+                to_string(report.overall()));
+    std::fflush(stdout);
+  }
+  std::printf("\nverdicts identical across job counts: %s\n",
+              consistent ? "yes" : "NO");
+
+  // Portfolio mode on the hardest obligation: every engine races, the first
+  // definitive verdict wins, the losers report "cancelled by caller".
+  {
+    Suite one;
+    const ExperimentConfig cfg;
+    ModuleSet set = flat_pipeline(1, cfg.timing);
+    std::vector<const Module*> modules;
+    for (auto& m : set.owned) modules.push_back(one.own(std::move(*m)));
+    std::vector<const SafetyProperty*> props{
+        one.own(std::make_unique<DeadlockFreedom>()),
+        one.own(std::make_unique<PersistencyProperty>())};
+    const Netlist nl =
+        make_stage_netlist("I1", linear_channels(1), cfg.timing.stage);
+    for (auto& p : short_circuit_properties(nl))
+      props.push_back(one.own(std::move(p)));
+    one.add("IN || I || OUT |= S", std::move(modules), std::move(props));
+
+    SuiteOptions opts;
+    opts.mode = SuiteMode::kPortfolio;
+    const SuiteReport report = run_suite(one, opts);
+    std::printf("\nportfolio on IN || I || OUT |= S (%zu jobs):\n",
+                report.jobs);
+    for (const SuiteRecord& rec : report.records) {
+      std::printf("  %-10s %-14s %10zu states  %8.3f s  %s%s\n",
+                  rec.engine.c_str(), to_string(rec.result.verdict),
+                  rec.result.states_explored, rec.result.seconds,
+                  rec.result.truncated_reason.c_str(),
+                  rec.winner ? "  <- winner" : "");
+    }
+  }
+  return consistent ? 0 : 1;
+}

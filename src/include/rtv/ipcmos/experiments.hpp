@@ -16,6 +16,7 @@
 
 #include "rtv/ipcmos/pipeline.hpp"
 #include "rtv/verify/refinement.hpp"
+#include "rtv/verify/suite.hpp"
 
 namespace rtv::ipcmos {
 
@@ -36,6 +37,13 @@ struct NamedResult {
   VerificationResult result;
 };
 std::vector<NamedResult> run_all_experiments(const ExperimentConfig& cfg = {});
+
+/// The five Table 1 obligations as a declarative batch: the suite owns the
+/// pipeline modules, containment monitors and property bundles, so it can
+/// be handed straight to run_suite() — obligations in parallel, any engine
+/// selection, machine-readable report.  Obligation names match
+/// run_all_experiments().
+Suite table1_suite(const ExperimentConfig& cfg = {});
 
 /// Flat (no abstraction) verification of an n-stage pipeline:
 /// IN || I1 || ... || In || OUT |= S.  Used by the scaling bench to

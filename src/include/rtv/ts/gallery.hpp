@@ -31,4 +31,13 @@ Module chain(const std::vector<std::pair<std::string, DelayInterval>>& events);
 Module diamond(const std::string& x, DelayInterval x_delay,
                const std::string& y, DelayInterval y_delay);
 
+/// A 3-way race with delay constants scaled by `k`: a [1,2]·k, b [1,3]·k
+/// and c [2,3]·k concurrent from the initial state (a 2×2×2 cube of
+/// interleavings).  Zones and relative timing decide it in a handful of
+/// states no matter the scale, while the digitized engine's work grows
+/// linearly with k — the asymmetry the engines-comparison sweep and the
+/// portfolio-cancellation tests rely on.  "a before c" is genuinely
+/// violated (c may fire together with a at exactly 2k).
+Module scaled_race(int k);
+
 }  // namespace rtv::gallery

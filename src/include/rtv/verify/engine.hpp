@@ -45,9 +45,10 @@ enum class Verdict {
   kVerified,
   kViolated,
   kInconclusive,
-  /// Historical alias from the refinement flow, where a violation always
-  /// comes with a concrete timed counterexample trace.
-  kCounterexample = kViolated,
+  /// Deprecated historical alias from the refinement flow, where a
+  /// violation always comes with a concrete timed counterexample trace.
+  /// Use kViolated; this alias will be removed in a future release.
+  kCounterexample [[deprecated("use Verdict::kViolated")]] = kViolated,
 };
 
 const char* to_string(Verdict v);
@@ -106,6 +107,10 @@ inline constexpr const char* kComposeBudget =
 /// Refinement engine only: the iteration cap was reached.
 inline constexpr const char* kRefinementBudget =
     "refinement budget exhausted";
+/// Discrete engine only: a delay bound exceeds the digitized 16-bit age
+/// range, so integer-age exploration cannot represent the system.
+inline constexpr const char* kDigitizationRange =
+    "timing constants exceed the digitized age range";
 }  // namespace stop_reason
 
 /// Hot-loop guard threading one RunBudget's deadline + cancellation (and
@@ -211,6 +216,18 @@ class Engine {
   virtual std::string_view name() const = 0;
   /// One-line description for listings.
   virtual std::string_view description() const = 0;
+  /// Decide one obligation.
+  ///
+  /// Thread-safety contract: run() must be safe to call concurrently from
+  /// multiple threads on the same Engine instance — implementations keep
+  /// all run state local to the call and never mutate members (the method
+  /// is const for exactly this reason).  The three built-in engines are
+  /// stateless and honour this; the batch scheduler (rtv/verify/suite.hpp)
+  /// relies on it to race engines and to run obligations in parallel.
+  /// Requests are shared by value-ish views: the modules, properties and
+  /// cancel token behind a request must stay alive and unmodified for the
+  /// duration of the call (CancelToken::cancel() is the one exception —
+  /// it may be fired from any thread at any time).
   virtual EngineResult run(const EngineRequest& request) const = 0;
 };
 
@@ -231,6 +248,18 @@ class EngineRegistry {
 /// The process-wide registry, pre-seeded with the three built-in engines:
 /// "refine" (relative-timing refinement), "zone" (dense-time DBM zones)
 /// and "discrete" (digitized integer ages).
-EngineRegistry& engine_registry();
+///
+/// Construction is thread-safe (magic static, built exactly once on first
+/// use) and the returned reference is const: concurrent find()/engines()
+/// lookups are safe without synchronization.  Extra backends register
+/// through register_engine().
+const EngineRegistry& engine_registry();
+
+/// Register (or replace, matching by name) an engine in the process-wide
+/// registry.  Registration itself is serialized by an internal mutex, but
+/// it is NOT safe to register concurrently with lookups or running suites:
+/// register custom backends during single-threaded startup, before the
+/// first verification runs.
+void register_engine(std::unique_ptr<Engine> engine);
 
 }  // namespace rtv

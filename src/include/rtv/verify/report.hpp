@@ -1,12 +1,17 @@
 // Human-readable reporting of verification results: per-iteration
 // refinement logs, back-annotated relative timing constraints (the paper's
 // Fig. 13 deliverable) and experiment summary tables (Table 1).
+//
+// The tables are built on the batch-verification records of
+// rtv/verify/suite.hpp: a SuiteReport renders directly, and the legacy
+// ExperimentRow entry points feed the same aligned-table renderer.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "rtv/verify/refinement.hpp"
+#include "rtv/verify/suite.hpp"
 
 namespace rtv {
 
@@ -28,7 +33,21 @@ struct ExperimentRow {
 
 ExperimentRow summarize(const std::string& name, const VerificationResult& r);
 
+/// Summary of a unified engine result: refinement count from
+/// RefineEngineStats when present (0 otherwise), states from
+/// states_explored (the engine's own exploration unit).
+ExperimentRow summarize(const std::string& name, const EngineResult& r);
+
+/// One row per suite record, named "obligation" (single-engine reports) or
+/// "obligation [engine]" (several engines per obligation).
+std::vector<ExperimentRow> rows_from(const SuiteReport& report);
+
 /// Render rows as an aligned text table.
 std::string format_table(const std::vector<ExperimentRow>& rows);
+
+/// Render a whole suite report as an aligned text table: one line per
+/// obligation×engine record with verdict, stop reason, states and times,
+/// followed by a one-line roll-up (overall verdict, wall clock, jobs).
+std::string format_table(const SuiteReport& report);
 
 }  // namespace rtv

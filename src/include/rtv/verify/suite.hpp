@@ -1,0 +1,200 @@
+// Batch verification: many obligations, many engines, one scheduler.
+//
+// The paper's core experiment (Table 1) is a *batch* of obligations checked
+// by *competing* decision procedures.  This header turns that shape into an
+// API:
+//
+//   * a declarative Suite of named Obligations (modules + properties +
+//     per-obligation budget overrides), with storage helpers so monitors
+//     and properties built on the fly outlive the run;
+//   * run_suite(), a scheduler executing the suite on an internal thread
+//     pool (SuiteOptions::jobs) in two modes —
+//       - kBatch: every (obligation, selected engine) pair runs to
+//         completion, obligations in parallel;
+//       - kPortfolio: the selected engines *race* on each obligation; the
+//         first definitive kVerified/kViolated verdict wins and cancels the
+//         engine's peers through their CancelToken.  kInconclusive finishes
+//         never decide and never mask a definitive peer.
+//   * a SuiteReport with one SuiteRecord per obligation×engine (verdict,
+//     stop reason, states, wall/CPU time, winner flag) and a stable,
+//     schema-versioned JSON serialization for scripted/CI consumers,
+//     round-trippable through parse_suite_report().
+//
+// Engines run concurrently, which is safe by the Engine::run contract
+// (engine.hpp): run() is const and shares no mutable state between calls.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rtv/ts/module.hpp"
+#include "rtv/verify/engine.hpp"
+#include "rtv/verify/property.hpp"
+
+namespace rtv {
+
+// ---------------------------------------------------------------------------
+// Obligations and suites.
+// ---------------------------------------------------------------------------
+
+/// One named verification obligation.  Modules and properties are
+/// non-owning views; anything built on the fly (monitors, property
+/// bundles) can be parked in the Suite with Suite::own().
+struct Obligation {
+  std::string name;
+  /// Modules composed CSP-style over shared labels (monitors included).
+  std::vector<const Module*> modules;
+  std::vector<const SafetyProperty*> properties;
+  /// Per-obligation budget; fields left at their zero value inherit
+  /// SuiteOptions::budget (the cancel token is suite-wide and cannot be
+  /// overridden per obligation).
+  RunBudget budget;
+  /// Batch mode only: run this registry engine instead of the suite-wide
+  /// selection.  Empty = use SuiteOptions::engines.
+  std::string engine;
+  /// Refinement-engine iteration cap; exact engines ignore it.
+  std::size_t max_refinements = 500;
+  bool track_chokes = true;
+};
+
+/// A declarative batch of obligations plus the storage keeping their
+/// modules and properties alive.  Obligation references returned by add()
+/// stay valid for the suite's lifetime (deque storage, no relocation).
+class Suite {
+ public:
+  /// Park a module in the suite; the returned pointer is stable.
+  const Module* own(Module m);
+  /// Park a property in the suite; the returned pointer is stable.
+  const SafetyProperty* own(std::unique_ptr<SafetyProperty> p);
+
+  /// Append an empty obligation to configure in place.
+  Obligation& add(std::string name);
+  /// Append a fully-formed obligation.
+  Obligation& add(std::string name, std::vector<const Module*> modules,
+                  std::vector<const SafetyProperty*> properties);
+
+  const std::deque<Obligation>& obligations() const { return obligations_; }
+  /// Mutable view for post-construction tweaks (per-obligation engine or
+  /// budget overrides).
+  std::deque<Obligation>& obligations() { return obligations_; }
+  std::size_t size() const { return obligations_.size(); }
+  bool empty() const { return obligations_.empty(); }
+
+ private:
+  std::deque<Module> owned_modules_;
+  std::vector<std::unique_ptr<SafetyProperty>> owned_properties_;
+  std::deque<Obligation> obligations_;
+};
+
+// ---------------------------------------------------------------------------
+// Scheduler options.
+// ---------------------------------------------------------------------------
+
+enum class SuiteMode {
+  kBatch,      ///< every (obligation, engine) pair runs to completion
+  kPortfolio,  ///< engines race per obligation; first definitive verdict wins
+};
+
+const char* to_string(SuiteMode mode);
+
+struct SuiteOptions {
+  SuiteMode mode = SuiteMode::kBatch;
+  /// Worker threads; 0 = std::thread::hardware_concurrency(), clamped to
+  /// the task count (and at least 1).
+  std::size_t jobs = 0;
+  /// Registry names of the engines to run.  Empty selects the default:
+  /// {"refine"} in batch mode, every registered engine in portfolio mode.
+  /// An unknown name makes run_suite throw std::invalid_argument.
+  std::vector<std::string> engines;
+  /// Suite-wide default budget.  Nonzero per-obligation fields override
+  /// max_states / max_seconds; budget.cancel aborts the whole suite
+  /// (checked before each task starts and, while an engine runs, every
+  /// progress_interval explored states).
+  RunBudget budget;
+  /// Default refinement cap for obligations that keep the constructor value.
+  std::size_t max_refinements = 500;
+  /// Optional progress stream, serialized across workers (called under a
+  /// lock, from worker threads).
+  ProgressFn progress;
+  std::size_t progress_interval = kDefaultProgressInterval;
+};
+
+// ---------------------------------------------------------------------------
+// Results.
+// ---------------------------------------------------------------------------
+
+/// One obligation×engine outcome.
+struct SuiteRecord {
+  std::string obligation;
+  std::string engine;
+  EngineResult result;
+  /// Thread CPU time of the run in seconds (0 when the platform cannot
+  /// measure per-thread CPU time, or when the task never ran).
+  double cpu_seconds = 0.0;
+  /// True iff this record decided the obligation's verdict: the first
+  /// definitive finish in portfolio mode, any definitive verdict in batch.
+  bool winner = false;
+};
+
+/// Per-obligation roll-up of a report's records.
+struct ObligationSummary {
+  std::string obligation;
+  /// The winning record's verdict; kInconclusive when no engine decided.
+  Verdict verdict = Verdict::kInconclusive;
+  /// Engine of the winning record ("" when no engine decided).
+  std::string winner;
+  /// Max wall-clock seconds over the obligation's records.
+  double wall_seconds = 0.0;
+};
+
+struct SuiteReport {
+  /// Bumped whenever the JSON layout changes incompatibly.
+  static constexpr int kSchemaVersion = 1;
+  /// The "schema" tag emitted in the JSON.
+  static constexpr const char* kSchemaName = "rtv-suite-report";
+
+  SuiteMode mode = SuiteMode::kBatch;
+  std::size_t jobs = 1;
+  /// Whole-suite wall-clock seconds.
+  double wall_seconds = 0.0;
+  /// One record per obligation×engine, in deterministic obligation-major
+  /// order (independent of completion order).
+  std::vector<SuiteRecord> records;
+
+  /// Roll-ups in first-appearance obligation order.
+  std::vector<ObligationSummary> summaries() const;
+  /// Verdict of one obligation (kInconclusive if absent or undecided).
+  Verdict verdict_of(std::string_view obligation) const;
+  /// kViolated if any obligation is violated, else kInconclusive if any is
+  /// undecided, else kVerified (an empty report is vacuously verified).
+  Verdict overall() const;
+
+  /// Stable machine-readable serialization (see docs/API.md for the
+  /// schema).  Always emits the current kSchemaVersion.
+  std::string to_json() const;
+};
+
+/// Parse a to_json() document back into a SuiteReport; throws
+/// std::runtime_error on malformed JSON, a wrong schema tag, or a schema
+/// version newer than this library understands.
+SuiteReport parse_suite_report(const std::string& json);
+
+/// Map a verdict to the CLI/CI exit-code convention: 0 = verified,
+/// 1 = violated, 2 = inconclusive (64 is reserved for usage errors).
+int exit_code(Verdict v);
+
+// ---------------------------------------------------------------------------
+// The scheduler.
+// ---------------------------------------------------------------------------
+
+/// Execute every obligation of the suite per SuiteOptions on an internal
+/// thread pool and collect one record per obligation×engine.  Throws
+/// std::invalid_argument when an engine name (per-obligation or in
+/// options.engines) is not registered.
+SuiteReport run_suite(const Suite& suite, const SuiteOptions& options = {});
+
+}  // namespace rtv

@@ -90,4 +90,25 @@ Module diamond(const std::string& x, DelayInterval x_delay,
   return Module("diamond", std::move(ts));
 }
 
+Module scaled_race(int k) {
+  TransitionSystem ts;
+  const double s = k;
+  const EventId a = ts.add_event("a", DelayInterval::units(1 * s, 2 * s));
+  const EventId b = ts.add_event("b", DelayInterval::units(1 * s, 3 * s));
+  const EventId c = ts.add_event("c", DelayInterval::units(2 * s, 3 * s));
+  StateId grid[2][2][2];
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 2; ++j)
+      for (int l = 0; l < 2; ++l) grid[i][j][l] = ts.add_state();
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 2; ++j)
+      for (int l = 0; l < 2; ++l) {
+        if (!i) ts.add_transition(grid[i][j][l], a, grid[1][j][l]);
+        if (!j) ts.add_transition(grid[i][j][l], b, grid[i][1][l]);
+        if (!l) ts.add_transition(grid[i][j][l], c, grid[i][j][1]);
+      }
+  ts.set_initial(grid[0][0][0]);
+  return Module("race3", std::move(ts));
+}
+
 }  // namespace rtv::gallery

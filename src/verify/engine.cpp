@@ -1,5 +1,6 @@
 #include "rtv/verify/engine.hpp"
 
+#include <mutex>
 #include <utility>
 
 #include "rtv/verify/refinement.hpp"
@@ -196,7 +197,12 @@ std::vector<std::string> EngineRegistry::names() const {
   return out;
 }
 
-EngineRegistry& engine_registry() {
+namespace {
+
+/// The one mutable handle on the process-wide registry.  Construction is a
+/// C++11 magic static (thread-safe, exactly once); mutation afterwards
+/// only happens through register_engine() under the registration mutex.
+EngineRegistry& mutable_registry() {
   static EngineRegistry* registry = [] {
     auto* r = new EngineRegistry;
     r->add(std::make_unique<RefineEngine>());
@@ -205,6 +211,16 @@ EngineRegistry& engine_registry() {
     return r;
   }();
   return *registry;
+}
+
+}  // namespace
+
+const EngineRegistry& engine_registry() { return mutable_registry(); }
+
+void register_engine(std::unique_ptr<Engine> engine) {
+  static std::mutex registration_mutex;
+  std::lock_guard<std::mutex> lock(registration_mutex);
+  mutable_registry().add(std::move(engine));
 }
 
 }  // namespace rtv

@@ -79,7 +79,7 @@ VerificationResult verify_modules(
 
     const TraceTimingModel model(comp.ts, failure->trace, failure->virtual_event);
     if (model.consistent()) {
-      result.verdict = Verdict::kCounterexample;
+      result.verdict = Verdict::kViolated;
       result.counterexample = failure->trace;
       for (const TraceStep& st : failure->trace.steps)
         result.counterexample_labels.push_back(comp.ts.label(st.event));

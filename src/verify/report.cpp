@@ -1,5 +1,6 @@
 #include "rtv/verify/report.hpp"
 
+#include <algorithm>
 #include <iomanip>
 #include <sstream>
 
@@ -54,6 +55,39 @@ ExperimentRow summarize(const std::string& name, const VerificationResult& r) {
   return row;
 }
 
+ExperimentRow summarize(const std::string& name, const EngineResult& r) {
+  ExperimentRow row;
+  row.name = name;
+  row.verdict = r.verdict;
+  row.seconds = r.seconds;
+  if (const auto* st = std::get_if<RefineEngineStats>(&r.stats)) {
+    row.refinements = st->refinements;
+    row.states = st->composed_states;
+  } else {
+    row.states = r.states_explored;
+  }
+  return row;
+}
+
+std::vector<ExperimentRow> rows_from(const SuiteReport& report) {
+  // Name rows by obligation alone when every obligation ran on one engine,
+  // else disambiguate with the engine.
+  bool multi_engine = false;
+  for (const SuiteRecord& rec : report.records)
+    for (const SuiteRecord& other : report.records)
+      if (&rec != &other && rec.obligation == other.obligation)
+        multi_engine = true;
+  std::vector<ExperimentRow> rows;
+  rows.reserve(report.records.size());
+  for (const SuiteRecord& rec : report.records) {
+    const std::string name = multi_engine
+                                 ? rec.obligation + " [" + rec.engine + "]"
+                                 : rec.obligation;
+    rows.push_back(summarize(name, rec.result));
+  }
+  return rows;
+}
+
 std::string format_table(const std::vector<ExperimentRow>& rows) {
   std::ostringstream os;
   os << std::left << std::setw(44) << "Experiment" << std::setw(16) << "Verdict"
@@ -67,6 +101,49 @@ std::string format_table(const std::vector<ExperimentRow>& rows) {
        << to_string(r.verdict) << std::setw(12) << secs.str() << std::setw(13)
        << r.refinements << r.states << "\n";
   }
+  return os.str();
+}
+
+std::string format_table(const SuiteReport& report) {
+  // Column widths adapt to content so long obligation names do not shear
+  // the table.
+  std::size_t name_w = std::string("Obligation").size();
+  std::size_t engine_w = std::string("Engine").size();
+  std::size_t reason_w = std::string("Stop reason").size();
+  for (const SuiteRecord& rec : report.records) {
+    name_w = std::max(name_w, rec.obligation.size());
+    engine_w = std::max(engine_w, rec.engine.size());
+    reason_w = std::max(reason_w, rec.result.truncated_reason.size());
+  }
+
+  std::ostringstream os;
+  os << std::left << std::setw(static_cast<int>(name_w + 2)) << "Obligation"
+     << std::setw(static_cast<int>(engine_w + 2)) << "Engine" << std::setw(16)
+     << "Verdict" << std::setw(12) << "States" << std::setw(11) << "Wall"
+     << std::setw(11) << "CPU" << "Stop reason\n";
+  os << std::string(name_w + engine_w + 4 + 16 + 12 + 22 +
+                        std::max<std::size_t>(reason_w, 11),
+                    '-')
+     << "\n";
+  for (const SuiteRecord& rec : report.records) {
+    std::ostringstream wall, cpu;
+    wall << std::fixed << std::setprecision(3) << rec.result.seconds << " s";
+    cpu << std::fixed << std::setprecision(3) << rec.cpu_seconds << " s";
+    os << std::left << std::setw(static_cast<int>(name_w + 2))
+       << rec.obligation << std::setw(static_cast<int>(engine_w + 2))
+       << rec.engine << std::setw(16)
+       << (std::string(to_string(rec.result.verdict)) +
+           (rec.winner ? " *" : ""))
+       << std::setw(12) << rec.result.states_explored << std::setw(11)
+       << wall.str() << std::setw(11) << cpu.str()
+       << rec.result.truncated_reason << "\n";
+  }
+  os << "overall: " << to_string(report.overall()) << "  ("
+     << to_string(report.mode) << " mode, " << report.jobs << " job"
+     << (report.jobs == 1 ? "" : "s") << ", " << std::fixed
+     << std::setprecision(3) << report.wall_seconds << " s wall";
+  if (!report.records.empty()) os << ", * = decided the obligation";
+  os << ")\n";
   return os.str();
 }
 

@@ -1,0 +1,674 @@
+#include "rtv/verify/suite.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace rtv {
+
+// ---------------------------------------------------------------------------
+// Suite storage
+// ---------------------------------------------------------------------------
+
+const Module* Suite::own(Module m) {
+  owned_modules_.push_back(std::move(m));
+  return &owned_modules_.back();
+}
+
+const SafetyProperty* Suite::own(std::unique_ptr<SafetyProperty> p) {
+  owned_properties_.push_back(std::move(p));
+  return owned_properties_.back().get();
+}
+
+Obligation& Suite::add(std::string name) {
+  obligations_.emplace_back();
+  obligations_.back().name = std::move(name);
+  return obligations_.back();
+}
+
+Obligation& Suite::add(std::string name, std::vector<const Module*> modules,
+                       std::vector<const SafetyProperty*> properties) {
+  Obligation& ob = add(std::move(name));
+  ob.modules = std::move(modules);
+  ob.properties = std::move(properties);
+  return ob;
+}
+
+const char* to_string(SuiteMode mode) {
+  return mode == SuiteMode::kPortfolio ? "portfolio" : "batch";
+}
+
+int exit_code(Verdict v) {
+  switch (v) {
+    case Verdict::kVerified:
+      return 0;
+    case Verdict::kViolated:
+      return 1;
+    case Verdict::kInconclusive:
+      return 2;
+  }
+  return 2;
+}
+
+// ---------------------------------------------------------------------------
+// The scheduler
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool definitive(Verdict v) { return v != Verdict::kInconclusive; }
+
+/// Per-thread CPU clock; 0 when the platform has no per-thread clock.
+double thread_cpu_seconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+#endif
+  return 0.0;
+}
+
+/// Shared race state of one obligation's portfolio.
+struct ObligationControl {
+  /// Handed to every run of the obligation; cancelled when a peer decides
+  /// (portfolio) or when a suite-wide cancellation is observed.
+  CancelToken token;
+  /// Set once by the first definitive finisher (compare-exchange).
+  std::atomic<bool> decided{false};
+};
+
+struct Task {
+  const Obligation* obligation = nullptr;
+  ObligationControl* control = nullptr;
+  const Engine* engine = nullptr;
+};
+
+const Engine* find_engine_or_throw(std::string_view name) {
+  const Engine* e = engine_registry().find(name);
+  if (!e)
+    throw std::invalid_argument("run_suite: unknown engine '" +
+                                std::string(name) + "'");
+  return e;
+}
+
+}  // namespace
+
+SuiteReport run_suite(const Suite& suite, const SuiteOptions& options) {
+  // Resolve the suite-wide engine selection up front so a typo fails fast,
+  // before any thread spawns.
+  std::vector<const Engine*> selected;
+  if (options.engines.empty()) {
+    if (options.mode == SuiteMode::kPortfolio) {
+      selected = engine_registry().engines();
+    } else {
+      selected.push_back(find_engine_or_throw("refine"));
+    }
+  } else {
+    for (const std::string& name : options.engines)
+      selected.push_back(find_engine_or_throw(name));
+  }
+
+  // One control block per obligation, one task per obligation×engine, in
+  // deterministic obligation-major order (records mirror this order no
+  // matter which worker finishes first).
+  std::deque<ObligationControl> controls;
+  std::vector<Task> tasks;
+  for (const Obligation& ob : suite.obligations()) {
+    controls.emplace_back();
+    ObligationControl& ctl = controls.back();
+    if (options.mode == SuiteMode::kBatch && !ob.engine.empty()) {
+      tasks.push_back({&ob, &ctl, find_engine_or_throw(ob.engine)});
+      continue;
+    }
+    for (const Engine* e : selected) tasks.push_back({&ob, &ctl, e});
+  }
+
+  SuiteReport report;
+  report.mode = options.mode;
+  report.records.resize(tasks.size());
+
+  std::size_t jobs = options.jobs ? options.jobs
+                                  : std::thread::hardware_concurrency();
+  if (jobs == 0) jobs = 1;
+  jobs = std::min(jobs, std::max<std::size_t>(tasks.size(), 1));
+  report.jobs = jobs;
+
+  const CancelToken* suite_cancel = options.budget.cancel;
+  const auto suite_aborted = [suite_cancel] {
+    return suite_cancel && suite_cancel->cancelled();
+  };
+
+  std::mutex progress_mutex;
+
+  const auto run_task = [&](const Task& task, SuiteRecord& rec) {
+    const Obligation& ob = *task.obligation;
+    ObligationControl& ctl = *task.control;
+    rec.obligation = ob.name;
+    rec.engine = std::string(task.engine->name());
+
+    // A decided portfolio obligation (or an aborted suite) skips the run
+    // outright: the loser is recorded as cancelled without exploring a
+    // single state, so cancellation is observable even with one worker.
+    if (suite_aborted() || ctl.token.cancelled()) {
+      rec.result.verdict = Verdict::kInconclusive;
+      rec.result.truncated_reason = stop_reason::kCancelled;
+      return;
+    }
+
+    EngineRequest req;
+    req.modules = ob.modules;
+    req.properties = ob.properties;
+    req.budget.max_states = ob.budget.max_states ? ob.budget.max_states
+                                                 : options.budget.max_states;
+    req.budget.max_seconds = ob.budget.max_seconds > 0.0
+                                 ? ob.budget.max_seconds
+                                 : options.budget.max_seconds;
+    req.budget.cancel = &ctl.token;
+    req.max_refinements = ob.max_refinements != 500 ? ob.max_refinements
+                                                    : options.max_refinements;
+    req.track_chokes = ob.track_chokes;
+    req.progress_interval = options.progress_interval;
+    // The wrapper piggybacks suite-wide cancellation on the progress hook:
+    // engines poll ctl.token every tick, so cancelling it here stops the
+    // run within one progress interval of the external token firing.
+    const CancelToken* ob_cancel = ob.budget.cancel;
+    req.progress = [&, ob_cancel](const EngineProgress& p) {
+      if ((suite_cancel && suite_cancel->cancelled()) ||
+          (ob_cancel && ob_cancel->cancelled()))
+        ctl.token.cancel();
+      if (options.progress) {
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        options.progress(p);
+      }
+    };
+
+    const double cpu0 = thread_cpu_seconds();
+    rec.result = task.engine->run(req);
+    rec.cpu_seconds = thread_cpu_seconds() - cpu0;
+
+    if (!definitive(rec.result.verdict)) return;
+    if (options.mode == SuiteMode::kPortfolio) {
+      bool expected = false;
+      if (ctl.decided.compare_exchange_strong(expected, true)) {
+        rec.winner = true;
+        ctl.token.cancel();  // the verdict is in; stop the peers
+      }
+    } else {
+      rec.winner = true;
+    }
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= tasks.size()) return;
+      run_task(tasks[i], report.records[i]);
+    }
+  };
+  if (jobs <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (std::size_t i = 0; i < jobs; ++i) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Roll-ups
+// ---------------------------------------------------------------------------
+
+std::vector<ObligationSummary> SuiteReport::summaries() const {
+  std::vector<ObligationSummary> out;
+  for (const SuiteRecord& rec : records) {
+    ObligationSummary* s = nullptr;
+    for (ObligationSummary& existing : out)
+      if (existing.obligation == rec.obligation) {
+        s = &existing;
+        break;
+      }
+    if (!s) {
+      out.emplace_back();
+      s = &out.back();
+      s->obligation = rec.obligation;
+    }
+    s->wall_seconds = std::max(s->wall_seconds, rec.result.seconds);
+    // In batch mode several records of one obligation can be definitive;
+    // a violation is concrete evidence and outranks a verified peer (the
+    // two disagreeing at all is a cross-validation failure worth surfacing).
+    if (rec.winner &&
+        (s->winner.empty() || rec.result.verdict == Verdict::kViolated)) {
+      if (s->verdict != Verdict::kViolated) {
+        s->verdict = rec.result.verdict;
+        s->winner = rec.engine;
+      }
+    }
+  }
+  return out;
+}
+
+Verdict SuiteReport::verdict_of(std::string_view obligation) const {
+  for (const ObligationSummary& s : summaries())
+    if (s.obligation == obligation) return s.verdict;
+  return Verdict::kInconclusive;
+}
+
+Verdict SuiteReport::overall() const {
+  Verdict out = Verdict::kVerified;
+  for (const ObligationSummary& s : summaries()) {
+    if (s.verdict == Verdict::kViolated) return Verdict::kViolated;
+    if (s.verdict == Verdict::kInconclusive) out = Verdict::kInconclusive;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// JSON writer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void json_escape_into(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_string(std::string& out, std::string_view s) {
+  out += '"';
+  json_escape_into(out, s);
+  out += '"';
+}
+
+void append_double(std::string& out, double v) {
+  // 17 significant digits: every finite double round-trips exactly.
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string SuiteReport::to_json() const {
+  std::string out;
+  out += "{\n  \"schema\": ";
+  append_string(out, kSchemaName);
+  out += ",\n  \"schema_version\": " + std::to_string(kSchemaVersion);
+  out += ",\n  \"mode\": ";
+  append_string(out, to_string(mode));
+  out += ",\n  \"jobs\": " + std::to_string(jobs);
+  out += ",\n  \"wall_seconds\": ";
+  append_double(out, wall_seconds);
+  out += ",\n  \"records\": [";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const SuiteRecord& r = records[i];
+    out += i ? ",\n    {" : "\n    {";
+    out += "\n      \"obligation\": ";
+    append_string(out, r.obligation);
+    out += ",\n      \"engine\": ";
+    append_string(out, r.engine);
+    out += ",\n      \"verdict\": ";
+    append_string(out, to_string(r.result.verdict));
+    out += ",\n      \"stop_reason\": ";
+    append_string(out, r.result.truncated_reason);
+    out += ",\n      \"states\": " + std::to_string(r.result.states_explored);
+    out += ",\n      \"wall_seconds\": ";
+    append_double(out, r.result.seconds);
+    out += ",\n      \"cpu_seconds\": ";
+    append_double(out, r.cpu_seconds);
+    out += ",\n      \"winner\": ";
+    out += r.winner ? "true" : "false";
+    out += ",\n      \"message\": ";
+    append_string(out, r.result.message);
+    out += ",\n      \"trace\": [";
+    for (std::size_t j = 0; j < r.result.trace_labels.size(); ++j) {
+      if (j) out += ", ";
+      append_string(out, r.result.trace_labels[j]);
+    }
+    out += "]\n    }";
+  }
+  out += records.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// JSON parser — the minimal grammar the writer emits (objects, arrays,
+// strings with escapes, numbers, booleans, null), strict about structure so
+// a corrupted report fails loudly instead of round-tripping garbage.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(std::string_view key) const {
+    for (const auto& [k, v] : object)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("suite report JSON, offset " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of document");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.compare(pos_, lit.size(), lit) != 0) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kString;
+      v.string = parse_string();
+      return v;
+    }
+    JsonValue v;
+    if (consume_literal("true")) {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      v.kind = JsonValue::Kind::kBool;
+      return v;
+    }
+    if (consume_literal("null")) return v;
+    return parse_number();
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      if (peek() != '"') fail("expected object key");
+      std::string key = parse_string();
+      expect(':');
+      v.object.emplace_back(std::move(key), parse_value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(parse_value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out += esc;
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+              code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              fail("bad hex digit in \\u escape");
+          }
+          // The writer only emits \u00XX for control characters; decode
+          // the Latin-1 range as UTF-8 and reject the rest.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          }
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+    fail("unterminated string");
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) fail("expected a value");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    try {
+      v.number = std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("malformed number");
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+const JsonValue& require(const JsonValue& obj, std::string_view key,
+                         JsonValue::Kind kind, const char* what) {
+  const JsonValue* v = obj.find(key);
+  if (!v || v->kind != kind)
+    throw std::runtime_error(std::string("suite report JSON: missing or "
+                                         "mistyped field '") +
+                             std::string(key) + "' (" + what + ")");
+  return *v;
+}
+
+Verdict verdict_from_string(const std::string& s) {
+  if (s == "VERIFIED") return Verdict::kVerified;
+  if (s == "VIOLATED") return Verdict::kViolated;
+  if (s == "INCONCLUSIVE") return Verdict::kInconclusive;
+  throw std::runtime_error("suite report JSON: unknown verdict '" + s + "'");
+}
+
+}  // namespace
+
+SuiteReport parse_suite_report(const std::string& json) {
+  const JsonValue root = JsonParser(json).parse();
+  if (root.kind != JsonValue::Kind::kObject)
+    throw std::runtime_error("suite report JSON: root is not an object");
+
+  using Kind = JsonValue::Kind;
+  if (require(root, "schema", Kind::kString, "schema tag").string !=
+      SuiteReport::kSchemaName)
+    throw std::runtime_error("suite report JSON: wrong schema tag");
+  const int version = static_cast<int>(
+      require(root, "schema_version", Kind::kNumber, "schema version").number);
+  if (version < 1 || version > SuiteReport::kSchemaVersion)
+    throw std::runtime_error("suite report JSON: unsupported schema version " +
+                             std::to_string(version));
+
+  SuiteReport report;
+  const std::string& mode =
+      require(root, "mode", Kind::kString, "mode").string;
+  if (mode == "portfolio")
+    report.mode = SuiteMode::kPortfolio;
+  else if (mode == "batch")
+    report.mode = SuiteMode::kBatch;
+  else
+    throw std::runtime_error("suite report JSON: unknown mode '" + mode + "'");
+  report.jobs = static_cast<std::size_t>(
+      require(root, "jobs", Kind::kNumber, "jobs").number);
+  report.wall_seconds =
+      require(root, "wall_seconds", Kind::kNumber, "wall seconds").number;
+
+  for (const JsonValue& rec :
+       require(root, "records", Kind::kArray, "records").array) {
+    if (rec.kind != Kind::kObject)
+      throw std::runtime_error("suite report JSON: record is not an object");
+    SuiteRecord out;
+    out.obligation =
+        require(rec, "obligation", Kind::kString, "obligation name").string;
+    out.engine = require(rec, "engine", Kind::kString, "engine name").string;
+    out.result.verdict = verdict_from_string(
+        require(rec, "verdict", Kind::kString, "verdict").string);
+    out.result.truncated_reason =
+        require(rec, "stop_reason", Kind::kString, "stop reason").string;
+    out.result.states_explored = static_cast<std::size_t>(
+        require(rec, "states", Kind::kNumber, "states").number);
+    out.result.seconds =
+        require(rec, "wall_seconds", Kind::kNumber, "wall seconds").number;
+    out.cpu_seconds =
+        require(rec, "cpu_seconds", Kind::kNumber, "cpu seconds").number;
+    out.winner = require(rec, "winner", Kind::kBool, "winner flag").boolean;
+    out.result.message =
+        require(rec, "message", Kind::kString, "message").string;
+    for (const JsonValue& label :
+         require(rec, "trace", Kind::kArray, "trace labels").array) {
+      if (label.kind != Kind::kString)
+        throw std::runtime_error(
+            "suite report JSON: trace label is not a string");
+      out.result.trace_labels.push_back(label.string);
+    }
+    report.records.push_back(std::move(out));
+  }
+  return report;
+}
+
+}  // namespace rtv

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <limits>
 #include <unordered_map>
 
 #include "rtv/base/log.hpp"
@@ -43,6 +44,23 @@ DiscreteVerifyResult discrete_explore(
                        options.progress_interval);
   RunClock& clock = options.clock ? *options.clock : local_clock;
   DiscreteVerifyResult result;
+
+  // Ages are 16-bit (Config::ages); a delay bound beyond their range
+  // would silently wrap, leaving the event forever unfireable and the
+  // verdict wrong.  Digitization over such constants is out of this
+  // engine's range: refuse with kInconclusive instead of guessing.
+  for (std::size_t e = 0; e < ts.num_events(); ++e) {
+    const DelayInterval d = ts.delay(EventId(static_cast<std::uint32_t>(e)));
+    const Time cap = d.upper_bounded() ? d.hi() : d.lo();
+    if (cap > static_cast<Time>(std::numeric_limits<std::uint16_t>::max())) {
+      result.truncated = true;
+      result.truncated_reason = stop_reason::kDigitizationRange;
+      result.seconds = clock.seconds();
+      RTV_WARN << "discrete engine: delay bound " << cap
+               << " ticks exceeds the 16-bit age range; refusing";
+      return result;
+    }
+  }
 
   std::unordered_map<StateId::underlying_type, std::vector<const ChokeRecord*>>
       chokes_at;

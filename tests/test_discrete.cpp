@@ -103,5 +103,23 @@ TEST(Discrete, ChokeDetection) {
   EXPECT_NE(r.description.find("refusal"), std::string::npos);
 }
 
+TEST(Discrete, RefusesConstantsBeyondTheAgeRange) {
+  // Ages are 16-bit; before the guard a delay bound past 65535 ticks
+  // silently wrapped, the event never fired, and a genuinely violated
+  // system came back VERIFIED.  The engine must refuse instead.
+  TransitionSystem ts;
+  const StateId s0 = ts.add_state();
+  const StateId s1 = ts.add_state();
+  // 20000 units * 4 ticks/unit = 80000 ticks > 65535.
+  ts.add_transition(s0, ts.add_event("a", DelayInterval::units(10000, 20000)),
+                    s1);
+  ts.set_initial(s0);
+  const Module m("overflow", std::move(ts));
+  const DiscreteVerifyResult r = discrete_verify({&m}, {});
+  EXPECT_EQ(r.verdict(), Verdict::kInconclusive);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_EQ(r.truncated_reason, stop_reason::kDigitizationRange);
+}
+
 }  // namespace
 }  // namespace rtv

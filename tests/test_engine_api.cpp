@@ -24,29 +24,6 @@ const Engine* engine(const char* name) {
   return e;
 }
 
-/// A 3-way race with delay constants scaled by `k`: big enough (for large
-/// k) that the digitized engine explores thousands of configs.
-Module scaled_race(int k) {
-  TransitionSystem ts;
-  const double s = k;
-  const EventId a = ts.add_event("a", DelayInterval::units(1 * s, 2 * s));
-  const EventId b = ts.add_event("b", DelayInterval::units(1 * s, 3 * s));
-  const EventId c = ts.add_event("c", DelayInterval::units(2 * s, 3 * s));
-  StateId grid[2][2][2];
-  for (int i = 0; i < 2; ++i)
-    for (int j = 0; j < 2; ++j)
-      for (int l = 0; l < 2; ++l) grid[i][j][l] = ts.add_state();
-  for (int i = 0; i < 2; ++i)
-    for (int j = 0; j < 2; ++j)
-      for (int l = 0; l < 2; ++l) {
-        if (!i) ts.add_transition(grid[i][j][l], a, grid[1][j][l]);
-        if (!j) ts.add_transition(grid[i][j][l], b, grid[i][1][l]);
-        if (!l) ts.add_transition(grid[i][j][l], c, grid[i][j][1]);
-      }
-  ts.set_initial(grid[0][0][0]);
-  return Module("race3", std::move(ts));
-}
-
 TEST(EngineRegistry, EnumeratesTheThreeBuiltInEngines) {
   const auto names = engine_registry().names();
   EXPECT_NE(std::find(names.begin(), names.end(), "refine"), names.end());
@@ -133,7 +110,7 @@ TEST(EngineBudget, OneStateBudgetIsNeverVerified) {
 }
 
 TEST(EngineBudget, DeadlineStopsRunEarlyWithInconclusive) {
-  const Module sys = scaled_race(64);
+  const Module sys = gallery::scaled_race(64);
   const Module mon = gallery::order_monitor("a", "c");
   const InvariantProperty bad("a before c", {{"fail", true}});
   EngineRequest req;
@@ -148,7 +125,7 @@ TEST(EngineBudget, DeadlineStopsRunEarlyWithInconclusive) {
 }
 
 TEST(EngineBudget, CancelTokenStopsRunEarlyWithInconclusive) {
-  const Module sys = scaled_race(64);
+  const Module sys = gallery::scaled_race(64);
   const Module mon = gallery::order_monitor("a", "c");
   const InvariantProperty bad("a before c", {{"fail", true}});
 

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "rtv/base/log.hpp"
 #include "rtv/verify/report.hpp"
 
@@ -29,7 +31,7 @@ TEST(Report, TableAlignsColumns) {
   a.states = 42;
   ExperimentRow b;
   b.name = "a much longer experiment name here";
-  b.verdict = Verdict::kCounterexample;
+  b.verdict = Verdict::kViolated;
   const std::string t = format_table({a, b});
   EXPECT_NE(t.find("VERIFIED"), std::string::npos);
   EXPECT_NE(t.find("VIOLATED"), std::string::npos);
@@ -37,6 +39,81 @@ TEST(Report, TableAlignsColumns) {
   EXPECT_NE(t.find("42"), std::string::npos);
   // Header present.
   EXPECT_NE(t.find("Experiment"), std::string::npos);
+}
+
+TEST(Report, TableRendersInconclusiveRows) {
+  ExperimentRow r;
+  r.name = "budget-limited run";
+  r.verdict = Verdict::kInconclusive;
+  r.seconds = 0.25;
+  const std::string t = format_table({r});
+  EXPECT_NE(t.find("INCONCLUSIVE"), std::string::npos);
+  EXPECT_NE(t.find("budget-limited run"), std::string::npos);
+  EXPECT_NE(t.find("0.250 s"), std::string::npos);
+}
+
+TEST(Report, TableWithNoRowsIsHeaderOnly) {
+  const std::string t = format_table(std::vector<ExperimentRow>{});
+  EXPECT_NE(t.find("Experiment"), std::string::npos);
+  EXPECT_NE(t.find("Verdict"), std::string::npos);
+  EXPECT_EQ(t.find("VERIFIED"), std::string::npos);
+  EXPECT_EQ(t.find("INCONCLUSIVE"), std::string::npos);
+  // Exactly the header line and its rule.
+  EXPECT_EQ(std::count(t.begin(), t.end(), '\n'), 2);
+}
+
+TEST(Report, SummarizeVerificationResultInconclusive) {
+  VerificationResult r;
+  r.verdict = Verdict::kInconclusive;
+  r.truncated_reason = stop_reason::kStateBudget;
+  r.refinements = 2;
+  r.composed_states = 17;
+  const ExperimentRow row = summarize("truncated", r);
+  EXPECT_EQ(row.verdict, Verdict::kInconclusive);
+  EXPECT_EQ(row.refinements, 2);
+  EXPECT_EQ(row.states, 17u);
+}
+
+TEST(Report, SummarizeEngineResultPullsRefineStats) {
+  EngineResult r;
+  r.verdict = Verdict::kVerified;
+  r.seconds = 0.5;
+  r.states_explored = 999;
+  RefineEngineStats st;
+  st.refinements = 4;
+  st.composed_states = 123;
+  r.stats = st;
+  const ExperimentRow row = summarize("refined", r);
+  EXPECT_EQ(row.refinements, 4);
+  EXPECT_EQ(row.states, 123u);
+
+  EngineResult zone;
+  zone.verdict = Verdict::kInconclusive;
+  zone.states_explored = 55;
+  zone.stats = ZoneEngineStats{11};
+  const ExperimentRow zrow = summarize("zoned", zone);
+  EXPECT_EQ(zrow.refinements, 0);
+  EXPECT_EQ(zrow.states, 55u);
+  EXPECT_EQ(zrow.verdict, Verdict::kInconclusive);
+}
+
+TEST(Report, SuiteReportTableHandlesEmptyAndInconclusive) {
+  SuiteReport empty;
+  const std::string t0 = format_table(empty);
+  EXPECT_NE(t0.find("Obligation"), std::string::npos);
+  EXPECT_NE(t0.find("overall: VERIFIED"), std::string::npos);
+
+  SuiteReport report;
+  SuiteRecord rec;
+  rec.obligation = "stuck";
+  rec.engine = "discrete";
+  rec.result.verdict = Verdict::kInconclusive;
+  rec.result.truncated_reason = stop_reason::kDeadline;
+  report.records.push_back(rec);
+  const std::string t1 = format_table(report);
+  EXPECT_NE(t1.find("INCONCLUSIVE"), std::string::npos);
+  EXPECT_NE(t1.find(stop_reason::kDeadline), std::string::npos);
+  EXPECT_NE(t1.find("overall: INCONCLUSIVE"), std::string::npos);
 }
 
 TEST(Report, EmptyResultFormats) {
@@ -49,8 +126,12 @@ TEST(Report, EmptyResultFormats) {
 TEST(Report, VerdictNames) {
   EXPECT_STREQ(to_string(Verdict::kVerified), "VERIFIED");
   EXPECT_STREQ(to_string(Verdict::kViolated), "VIOLATED");
-  // kCounterexample is a source-compatibility alias for kViolated.
+  // kCounterexample remains a source-compatibility alias for kViolated,
+  // but is deprecated — new code uses kViolated.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   EXPECT_STREQ(to_string(Verdict::kCounterexample), "VIOLATED");
+#pragma GCC diagnostic pop
   EXPECT_STREQ(to_string(Verdict::kInconclusive), "INCONCLUSIVE");
 }
 

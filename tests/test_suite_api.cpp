@@ -1,0 +1,393 @@
+// The batch-verification subsystem (rtv/verify/suite.hpp):
+//
+//   * Suite storage and obligation construction,
+//   * batch runs produce verdicts identical to sequential single-engine
+//     runs on the Fig. 1 gallery and an IPCMOS Table 1 obligation, at any
+//     job count,
+//   * portfolio runs: the first definitive engine wins and the losers are
+//     observably cancelled (stop reason = "cancelled by caller"), both via
+//     the pre-run skip (1 worker) and mid-run (racing workers); an
+//     inconclusive engine never masks a definitive peer,
+//   * the JSON suite report round-trips through parse_suite_report and
+//     rejects corrupted documents,
+//   * exit-code mapping for scripted callers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "rtv/ipcmos/experiments.hpp"
+#include "rtv/ts/gallery.hpp"
+#include "rtv/verify/report.hpp"
+#include "rtv/verify/suite.hpp"
+
+namespace rtv {
+namespace {
+
+const Engine* engine(const char* name) {
+  const Engine* e = engine_registry().find(name);
+  EXPECT_NE(e, nullptr) << name;
+  return e;
+}
+
+/// The Fig. 1 gallery obligation ("g before d" holds in every timed run).
+void add_intro_obligation(Suite& suite, const std::string& name) {
+  const Module* sys = suite.own(gallery::intro_example());
+  const Module* mon = suite.own(gallery::order_monitor("g", "d"));
+  const SafetyProperty* bad = suite.own(std::make_unique<InvariantProperty>(
+      "g before d", std::vector<InvariantProperty::Literal>{{"fail", true}}));
+  suite.add(name, {sys, mon}, {bad});
+}
+
+/// The boundary-2 obligation of the 2-stage IPCMOS pipeline (experiment
+/// 3's shape): IN || I1 || A_out(2) must stay within A_in(2).
+void add_ipcmos_obligation(Suite& suite, const std::string& name) {
+  const ipcmos::PipelineTiming t;
+  const Module* in = suite.own(ipcmos::make_in_env(t));
+  const Module* stage = suite.own(ipcmos::make_stage(1, t));
+  const Module* aout = suite.own(ipcmos::make_aout(2));
+  const Module ain = ipcmos::make_ain(2);
+  const Module* mon = suite.own(ain.as_monitor("Ain2'"));
+  const SafetyProperty* dead = suite.own(std::make_unique<DeadlockFreedom>());
+  const SafetyProperty* pers =
+      suite.own(std::make_unique<PersistencyProperty>());
+  suite.add(name, {in, stage, aout, mon}, {dead, pers});
+}
+
+/// Sequential ground truth for one obligation on one engine.
+EngineResult run_sequential(const Obligation& ob, const char* engine_name) {
+  EngineRequest req;
+  req.modules = ob.modules;
+  req.properties = ob.properties;
+  req.budget = ob.budget;
+  req.max_refinements = ob.max_refinements;
+  req.track_chokes = ob.track_chokes;
+  return engine(engine_name)->run(req);
+}
+
+TEST(SuiteApi, StorageAndObligationConstruction) {
+  Suite suite;
+  EXPECT_TRUE(suite.empty());
+  add_intro_obligation(suite, "intro");
+  Obligation& ob = suite.add("second");
+  ob.modules = suite.obligations().front().modules;
+  ob.properties = suite.obligations().front().properties;
+  EXPECT_EQ(suite.size(), 2u);
+  EXPECT_EQ(suite.obligations().front().name, "intro");
+  EXPECT_EQ(suite.obligations().back().name, "second");
+  EXPECT_EQ(suite.obligations().front().modules.size(), 2u);
+}
+
+TEST(SuiteApi, UnknownEngineThrows) {
+  Suite suite;
+  add_intro_obligation(suite, "intro");
+  SuiteOptions opts;
+  opts.engines = {"no-such-engine"};
+  EXPECT_THROW(run_suite(suite, opts), std::invalid_argument);
+  Suite per_ob;
+  add_intro_obligation(per_ob, "intro");
+  per_ob.obligations().front().engine = "bogus";
+  EXPECT_THROW(run_suite(per_ob), std::invalid_argument);
+}
+
+TEST(SuiteApi, EmptySuiteIsVacuouslyVerified) {
+  const SuiteReport report = run_suite(Suite{});
+  EXPECT_TRUE(report.records.empty());
+  EXPECT_EQ(report.overall(), Verdict::kVerified);
+  EXPECT_EQ(report.verdict_of("anything"), Verdict::kInconclusive);
+}
+
+TEST(SuiteBatch, MatchesSequentialSingleEngineRuns) {
+  // Gallery + one IPCMOS Table 1 obligation, all three engines, in
+  // parallel: every obligation×engine verdict must equal the sequential
+  // single-engine run's.
+  Suite suite;
+  add_intro_obligation(suite, "fig1 gallery");
+  add_ipcmos_obligation(suite, "ipcmos boundary 2");
+
+  SuiteOptions opts;
+  opts.engines = engine_registry().names();
+  opts.jobs = 4;
+  const SuiteReport report = run_suite(suite, opts);
+  ASSERT_EQ(report.records.size(), suite.size() * opts.engines.size());
+
+  std::size_t i = 0;
+  for (const Obligation& ob : suite.obligations()) {
+    for (const std::string& name : opts.engines) {
+      const SuiteRecord& rec = report.records[i++];
+      EXPECT_EQ(rec.obligation, ob.name);
+      EXPECT_EQ(rec.engine, name);
+      const EngineResult seq = run_sequential(ob, name.c_str());
+      EXPECT_EQ(rec.result.verdict, seq.verdict)
+          << ob.name << " on " << name;
+      EXPECT_EQ(rec.result.states_explored, seq.states_explored)
+          << ob.name << " on " << name;
+      EXPECT_TRUE(rec.winner);  // batch: every definitive record decides
+    }
+  }
+  EXPECT_EQ(report.overall(), Verdict::kVerified);
+  EXPECT_EQ(report.verdict_of("fig1 gallery"), Verdict::kVerified);
+}
+
+TEST(SuiteBatch, JobCountsProduceIdenticalVerdicts) {
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+    Suite suite;
+    add_intro_obligation(suite, "intro");
+    add_ipcmos_obligation(suite, "ipcmos");
+    SuiteOptions opts;
+    opts.jobs = jobs;
+    const SuiteReport report = run_suite(suite, opts);
+    EXPECT_EQ(report.jobs, std::min<std::size_t>(jobs, suite.size()));
+    EXPECT_EQ(report.overall(), Verdict::kVerified) << jobs << " jobs";
+  }
+}
+
+TEST(SuiteBatch, PerObligationEngineOverride) {
+  Suite suite;
+  add_intro_obligation(suite, "on zone");
+  add_intro_obligation(suite, "on discrete");
+  suite.obligations()[0].engine = "zone";
+  suite.obligations()[1].engine = "discrete";
+  const SuiteReport report = run_suite(suite);
+  ASSERT_EQ(report.records.size(), 2u);
+  EXPECT_EQ(report.records[0].engine, "zone");
+  EXPECT_EQ(report.records[1].engine, "discrete");
+  EXPECT_EQ(report.overall(), Verdict::kVerified);
+}
+
+TEST(SuitePortfolio, WinnerMatchesSequentialAndLoserIsCancelled) {
+  // Zones decide race3 in a handful of zones no matter how large the
+  // constants; the digitized engine needs tens of thousands of configs at
+  // k = 5000.  Racing both, zone must win and discrete must be observably
+  // cancelled — either before it starts (pre-run skip) or mid-run.
+  Suite suite;
+  const Module* sys = suite.own(gallery::scaled_race(5000));
+  const Module* mon = suite.own(gallery::order_monitor("a", "c"));
+  const SafetyProperty* bad = suite.own(std::make_unique<InvariantProperty>(
+      "a before c", std::vector<InvariantProperty::Literal>{{"fail", true}}));
+  suite.add("race3", {sys, mon}, {bad});
+
+  const EngineResult seq = run_sequential(suite.obligations().front(), "zone");
+  ASSERT_NE(seq.verdict, Verdict::kInconclusive);
+
+  SuiteOptions opts;
+  opts.mode = SuiteMode::kPortfolio;
+  opts.engines = {"zone", "discrete"};
+  opts.jobs = 2;
+  const SuiteReport report = run_suite(suite, opts);
+  ASSERT_EQ(report.records.size(), 2u);
+  const SuiteRecord& zone_rec = report.records[0];
+  const SuiteRecord& discrete_rec = report.records[1];
+
+  EXPECT_TRUE(zone_rec.winner);
+  EXPECT_EQ(zone_rec.result.verdict, seq.verdict);
+  EXPECT_EQ(report.verdict_of("race3"), seq.verdict);
+
+  EXPECT_FALSE(discrete_rec.winner);
+  EXPECT_EQ(discrete_rec.result.verdict, Verdict::kInconclusive);
+  EXPECT_EQ(discrete_rec.result.truncated_reason, stop_reason::kCancelled);
+
+  const auto summaries = report.summaries();
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_EQ(summaries[0].winner, "zone");
+  EXPECT_EQ(summaries[0].verdict, seq.verdict);
+}
+
+TEST(SuitePortfolio, SingleWorkerSkipsLosersAfterDecision) {
+  // With one worker the engines run in selection order: the first
+  // definitive finish cancels the obligation, and the remaining tasks are
+  // recorded as cancelled without exploring a single state.
+  Suite suite;
+  add_intro_obligation(suite, "intro");
+  SuiteOptions opts;
+  opts.mode = SuiteMode::kPortfolio;
+  opts.engines = {"refine", "zone", "discrete"};
+  opts.jobs = 1;
+  const SuiteReport report = run_suite(suite, opts);
+  ASSERT_EQ(report.records.size(), 3u);
+  EXPECT_TRUE(report.records[0].winner);
+  EXPECT_EQ(report.records[0].result.verdict, Verdict::kVerified);
+  for (std::size_t i = 1; i < 3; ++i) {
+    EXPECT_FALSE(report.records[i].winner);
+    EXPECT_EQ(report.records[i].result.truncated_reason,
+              stop_reason::kCancelled);
+    EXPECT_EQ(report.records[i].result.states_explored, 0u);
+  }
+  EXPECT_EQ(report.overall(), Verdict::kVerified);
+}
+
+TEST(SuitePortfolio, InconclusiveNeverMasksADefinitivePeer) {
+  // A state budget that truncates the digitized engine (tens of thousands
+  // of configs needed) but lets zones finish (seven zones): the
+  // inconclusive finisher must not decide, cancel, or outrank the
+  // definitive peer — even when it finishes first (jobs = 1, discrete
+  // scheduled before zone).
+  Suite suite;
+  const Module* sys = suite.own(gallery::scaled_race(5000));
+  const Module* mon = suite.own(gallery::order_monitor("a", "c"));
+  const SafetyProperty* bad = suite.own(std::make_unique<InvariantProperty>(
+      "a before c", std::vector<InvariantProperty::Literal>{{"fail", true}}));
+  Obligation& ob = suite.add("race3", {sys, mon}, {bad});
+  ob.budget.max_states = 500;
+
+  const EngineResult seq = run_sequential(ob, "zone");
+  ASSERT_NE(seq.verdict, Verdict::kInconclusive);
+
+  SuiteOptions opts;
+  opts.mode = SuiteMode::kPortfolio;
+  opts.engines = {"discrete", "zone"};
+  opts.jobs = 1;
+  const SuiteReport report = run_suite(suite, opts);
+  ASSERT_EQ(report.records.size(), 2u);
+  EXPECT_EQ(report.records[0].engine, "discrete");
+  EXPECT_EQ(report.records[0].result.verdict, Verdict::kInconclusive);
+  EXPECT_EQ(report.records[0].result.truncated_reason,
+            stop_reason::kStateBudget);
+  EXPECT_FALSE(report.records[0].winner);
+  EXPECT_TRUE(report.records[1].winner);
+  EXPECT_EQ(report.records[1].result.verdict, seq.verdict);
+  EXPECT_EQ(report.verdict_of("race3"), seq.verdict);
+}
+
+TEST(SuiteCancellation, SuiteWideTokenAbortsRemainingObligations) {
+  CancelToken token;
+  token.cancel();
+  Suite suite;
+  add_intro_obligation(suite, "a");
+  add_intro_obligation(suite, "b");
+  SuiteOptions opts;
+  opts.budget.cancel = &token;
+  const SuiteReport report = run_suite(suite, opts);
+  for (const SuiteRecord& rec : report.records) {
+    EXPECT_EQ(rec.result.verdict, Verdict::kInconclusive);
+    EXPECT_EQ(rec.result.truncated_reason, stop_reason::kCancelled);
+  }
+  EXPECT_EQ(report.overall(), Verdict::kInconclusive);
+}
+
+TEST(SuiteReportJson, RoundTripsThroughParse) {
+  Suite suite;
+  add_intro_obligation(suite, "fig1 gallery");
+  add_ipcmos_obligation(suite, "ipcmos boundary 2");
+  SuiteOptions opts;
+  opts.engines = {"refine", "zone"};
+  opts.jobs = 2;
+  const SuiteReport report = run_suite(suite, opts);
+
+  const std::string json = report.to_json();
+  const SuiteReport parsed = parse_suite_report(json);
+  EXPECT_EQ(parsed.mode, report.mode);
+  EXPECT_EQ(parsed.jobs, report.jobs);
+  EXPECT_NEAR(parsed.wall_seconds, report.wall_seconds, 1e-9);
+  ASSERT_EQ(parsed.records.size(), report.records.size());
+  for (std::size_t i = 0; i < parsed.records.size(); ++i) {
+    const SuiteRecord& a = parsed.records[i];
+    const SuiteRecord& b = report.records[i];
+    EXPECT_EQ(a.obligation, b.obligation);
+    EXPECT_EQ(a.engine, b.engine);
+    EXPECT_EQ(a.result.verdict, b.result.verdict);
+    EXPECT_EQ(a.result.truncated_reason, b.result.truncated_reason);
+    EXPECT_EQ(a.result.states_explored, b.result.states_explored);
+    EXPECT_EQ(a.result.message, b.result.message);
+    EXPECT_EQ(a.result.trace_labels, b.result.trace_labels);
+    EXPECT_EQ(a.winner, b.winner);
+    EXPECT_NEAR(a.result.seconds, b.result.seconds, 1e-9);
+    EXPECT_NEAR(a.cpu_seconds, b.cpu_seconds, 1e-9);
+  }
+  // The parsed report aggregates identically.
+  EXPECT_EQ(parsed.overall(), report.overall());
+  EXPECT_EQ(parsed.verdict_of("fig1 gallery"),
+            report.verdict_of("fig1 gallery"));
+}
+
+TEST(SuiteReportJson, EscapesAndRestoresSpecialCharacters) {
+  SuiteReport report;
+  report.mode = SuiteMode::kPortfolio;
+  report.jobs = 7;
+  report.wall_seconds = 1.25;
+  SuiteRecord rec;
+  rec.obligation = "quote \" backslash \\ newline \n tab \t done";
+  rec.engine = "zone";
+  rec.result.verdict = Verdict::kViolated;
+  rec.result.message = "control \x01 char";
+  rec.result.trace_labels = {"a+", "b-", "weird \"label\""};
+  rec.result.states_explored = 42;
+  rec.winner = true;
+  report.records.push_back(rec);
+
+  const SuiteReport parsed = parse_suite_report(report.to_json());
+  ASSERT_EQ(parsed.records.size(), 1u);
+  EXPECT_EQ(parsed.records[0].obligation, rec.obligation);
+  EXPECT_EQ(parsed.records[0].result.message, rec.result.message);
+  EXPECT_EQ(parsed.records[0].result.trace_labels, rec.result.trace_labels);
+  EXPECT_EQ(parsed.mode, SuiteMode::kPortfolio);
+}
+
+TEST(SuiteReportJson, RejectsCorruptedDocuments) {
+  Suite suite;
+  add_intro_obligation(suite, "intro");
+  const std::string json = run_suite(suite).to_json();
+
+  EXPECT_THROW(parse_suite_report("not json"), std::runtime_error);
+  EXPECT_THROW(parse_suite_report("{}"), std::runtime_error);
+  EXPECT_THROW(parse_suite_report(json.substr(0, json.size() / 2)),
+               std::runtime_error);
+  // Wrong schema tag.
+  std::string wrong = json;
+  wrong.replace(wrong.find("rtv-suite-report"), 16, "something-else-x");
+  EXPECT_THROW(parse_suite_report(wrong), std::runtime_error);
+  // Future schema version.
+  std::string future = json;
+  future.replace(future.find("\"schema_version\": 1"), 19,
+                 "\"schema_version\": 99");
+  EXPECT_THROW(parse_suite_report(future), std::runtime_error);
+}
+
+TEST(SuiteReportApi, ExitCodeMapping) {
+  EXPECT_EQ(exit_code(Verdict::kVerified), 0);
+  EXPECT_EQ(exit_code(Verdict::kViolated), 1);
+  EXPECT_EQ(exit_code(Verdict::kInconclusive), 2);
+}
+
+TEST(SuiteReportApi, TableRendersRecordsAndRollup) {
+  Suite suite;
+  add_intro_obligation(suite, "fig1 gallery obligation");
+  SuiteOptions opts;
+  opts.engines = {"refine", "zone"};
+  const SuiteReport report = run_suite(suite, opts);
+  const std::string table = format_table(report);
+  EXPECT_NE(table.find("fig1 gallery obligation"), std::string::npos);
+  EXPECT_NE(table.find("refine"), std::string::npos);
+  EXPECT_NE(table.find("zone"), std::string::npos);
+  EXPECT_NE(table.find("VERIFIED"), std::string::npos);
+  EXPECT_NE(table.find("overall: VERIFIED"), std::string::npos);
+  // rows_from disambiguates multi-engine reports with the engine name.
+  const auto rows = rows_from(report);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].name, "fig1 gallery obligation [refine]");
+}
+
+TEST(SuiteIpcmos, Table1SuiteMatchesRunAllExperiments) {
+  // The declarative Table 1 suite reproduces the classic sequential
+  // driver's verdicts record for record (the full five run in
+  // test_ipcmos/bench; one obligation keeps this suite fast).
+  const Suite suite = ipcmos::table1_suite();
+  ASSERT_EQ(suite.size(), 5u);
+  const std::vector<ipcmos::NamedResult> classic = {
+      {"1. Ain || Aout |= S", ipcmos::experiment1()}};
+  SuiteOptions opts;
+  opts.jobs = 1;
+  // Run only the cheap first obligation here by building a 1-obligation
+  // view: same modules/properties, same name.
+  Suite one;
+  Obligation& ob = one.add(suite.obligations().front().name);
+  ob.modules = suite.obligations().front().modules;
+  ob.properties = suite.obligations().front().properties;
+  const SuiteReport report = run_suite(one, opts);
+  ASSERT_EQ(report.records.size(), 1u);
+  EXPECT_EQ(report.records[0].obligation, classic[0].name);
+  EXPECT_EQ(report.records[0].result.verdict, classic[0].result.verdict);
+}
+
+}  // namespace
+}  // namespace rtv

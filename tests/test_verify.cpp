@@ -28,7 +28,7 @@ TEST(Verify, BrokenDelaysGiveCounterexample) {
   const Module mon = gallery::order_monitor("g", "d");
   const InvariantProperty bad("g before d", {{"fail", true}});
   const VerificationResult r = verify_modules({&sys, &mon}, {&bad});
-  EXPECT_EQ(r.verdict, Verdict::kCounterexample);
+  EXPECT_EQ(r.verdict, Verdict::kViolated);
   ASSERT_TRUE(r.counterexample.has_value());
   EXPECT_FALSE(r.counterexample_text.empty());
 }
@@ -48,7 +48,7 @@ TEST(Verify, DeadlockIsACounterexampleWhenTimingConsistent) {
   const Module sys = gallery::chain({{"x", DelayInterval::units(1, 2)}});
   const DeadlockFreedom dead;
   const VerificationResult r = verify_modules({&sys}, {&dead});
-  EXPECT_EQ(r.verdict, Verdict::kCounterexample);
+  EXPECT_EQ(r.verdict, Verdict::kViolated);
 }
 
 TEST(Verify, PersistencyGlitchPrunedByTiming) {
@@ -125,7 +125,7 @@ TEST(Verify, ContainmentRejectsForbiddenOutput) {
   const Module abs("spec", std::move(ats));
 
   const VerificationResult r = check_containment({&impl}, abs);
-  EXPECT_EQ(r.verdict, Verdict::kCounterexample);
+  EXPECT_EQ(r.verdict, Verdict::kViolated);
   EXPECT_NE(r.message.find("refusal"), std::string::npos);
 }
 

@@ -56,7 +56,7 @@ TEST(Witness, CounterexampleFromVerifierIsSchedulable) {
   const Module mon = gallery::order_monitor("g", "d");
   const InvariantProperty bad("g before d", {{"fail", true}});
   const VerificationResult r = verify_modules({&sys, &mon}, {&bad});
-  ASSERT_EQ(r.verdict, Verdict::kCounterexample);
+  ASSERT_EQ(r.verdict, Verdict::kViolated);
   ASSERT_TRUE(r.counterexample.has_value());
 
   // The counterexample lives in the composed system; rebuild the same

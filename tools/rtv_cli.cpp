@@ -1,18 +1,27 @@
 // rtv — command-line front end.
 //
-//   rtv verify   a.g b.g ...   [--engine NAME] [--timeout S] [--max-states N]
+//   rtv verify    a.g b.g ...  [--engine NAME] [--timeout S] [--max-states N]
 //                              [--no-deadlock] [--no-persistency] [--max-ref N]
 //                              [--progress]
+//   rtv suite     a.g b.g ...  [--engine NAME[,NAME...]] [--jobs N] [--json F]
+//                              (each file is one obligation; batch-parallel)
+//   rtv portfolio a.g b.g ...  [--engines NAME,NAME] [--jobs N] [--json F]
+//                              (one obligation; engines race, first verdict wins)
 //   rtv engines                (list the registered verification engines)
+//   rtv ipcmos                 [--engine NAME] [--jobs N] [--json F]
 //   rtv simulate a.g b.g ...   [--events N] [--seed S] [--vcd out.vcd] [--signals s1,s2]
 //   rtv dot      a.g           (marking graph as graphviz)
 //   rtv minimize a.g           (bisimulation quotient statistics)
-//   rtv ipcmos                 (the paper's five experiments)
 //
 // All .g inputs use the astg format with the library's `.delay` / `.initial`
-// extensions (see rtv/stg/astg.hpp).  Multiple files compose over their
-// shared signal alphabets.  `verify` runs any engine from engine_registry()
-// ("refine" by default); all engines answer with the same unified verdict.
+// extensions (see rtv/stg/astg.hpp).  For `verify` and `portfolio`, multiple
+// files compose over their shared signal alphabets; for `suite`, every file
+// is an independent obligation.
+//
+// Exit codes (stable, for scripted/CI callers — see docs/CLI.md):
+//   0 = verified, 1 = violated, 2 = inconclusive,
+//   64 = usage error (bad flags, unknown engine, no input),
+//   70 = runtime failure (unreadable input, I/O error).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -29,23 +38,37 @@
 #include "rtv/ts/minimize.hpp"
 #include "rtv/verify/engine.hpp"
 #include "rtv/verify/report.hpp"
+#include "rtv/verify/suite.hpp"
 
 using namespace rtv;
 
 namespace {
 
+/// BSD sysexits-style codes for the non-verdict outcomes, so 0/1/2 stay
+/// reserved for verdicts.
+constexpr int kExitUsage = 64;
+constexpr int kExitRuntime = 70;
+
 int usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  rtv verify   <stg.g>... [--engine NAME] [--timeout S] [--max-states N]\n"
-               "                          [--no-deadlock] [--no-persistency] [--max-ref N]\n"
-               "                          [--progress]\n"
-               "  rtv engines\n"
-               "  rtv simulate <stg.g>... [--events N] [--seed S] [--vcd FILE] [--signals a,b]\n"
-               "  rtv dot      <stg.g>\n"
-               "  rtv minimize <stg.g>\n"
-               "  rtv ipcmos\n");
-  return 2;
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  rtv verify    <stg.g>... [--engine NAME] [--timeout S] [--max-states N]\n"
+      "                           [--no-deadlock] [--no-persistency] [--max-ref N]\n"
+      "                           [--progress]\n"
+      "  rtv suite     <stg.g>... [--engine NAME[,NAME...]] [--jobs N] [--json FILE]\n"
+      "                           [--timeout S] [--max-states N] [--no-deadlock]\n"
+      "                           [--no-persistency] [--max-ref N] [--progress]\n"
+      "  rtv portfolio <stg.g>... [--engines NAME,NAME...] [--jobs N] [--json FILE]\n"
+      "                           [--timeout S] [--max-states N] [--no-deadlock]\n"
+      "                           [--no-persistency] [--max-ref N] [--progress]\n"
+      "  rtv engines\n"
+      "  rtv ipcmos               [--engine NAME[,NAME...]] [--jobs N] [--json FILE]\n"
+      "  rtv simulate  <stg.g>... [--events N] [--seed S] [--vcd FILE] [--signals a,b]\n"
+      "  rtv dot       <stg.g>\n"
+      "  rtv minimize  <stg.g>\n"
+      "exit codes: 0 verified, 1 violated, 2 inconclusive, 64 usage, 70 failure\n");
+  return kExitUsage;
 }
 
 void list_engines(std::FILE* out) {
@@ -69,7 +92,7 @@ Stg load(const std::string& path) {
 }
 
 /// Numeric flag values; a malformed or negative value is a usage error
-/// (exit 2), not an uncaught exception or a silent 2^64 wrap-around.
+/// (exit 64), not an uncaught exception or a silent 2^64 wrap-around.
 std::size_t parse_size(const std::string& flag, const std::string& value) {
   if (!value.empty() &&
       value.find_first_not_of("0123456789") == std::string::npos) {
@@ -80,7 +103,7 @@ std::size_t parse_size(const std::string& flag, const std::string& value) {
   }
   std::fprintf(stderr, "invalid value '%s' for %s\n", value.c_str(),
                flag.c_str());
-  std::exit(2);
+  std::exit(kExitUsage);
 }
 
 double parse_double(const std::string& flag, const std::string& value) {
@@ -92,7 +115,7 @@ double parse_double(const std::string& flag, const std::string& value) {
   }
   std::fprintf(stderr, "invalid value '%s' for %s\n", value.c_str(),
                flag.c_str());
-  std::exit(2);
+  std::exit(kExitUsage);
 }
 
 std::vector<std::string> split_csv(const std::string& s) {
@@ -127,24 +150,85 @@ LoadedModules load_all(const std::vector<std::string>& files) {
 }
 
 struct VerifyCliOptions {
-  std::string engine = "refine";
+  /// Engine selection (CSV accepted); empty keeps the subcommand default.
+  std::vector<std::string> engines;
   bool deadlock = true;
   bool persistency = true;
   std::size_t max_ref = 500;
   std::size_t max_states = 0;  // 0 = the engine's native default
   double timeout_seconds = 0.0;
   bool progress = false;
+  std::size_t jobs = 0;  // 0 = hardware concurrency
+  std::string json_path;
 };
+
+/// Resolve the requested engine names, or print the registry and fail with
+/// a usage error — scripted callers distinguish this (64) from verdicts.
+bool engines_exist(const std::vector<std::string>& names) {
+  for (const std::string& name : names) {
+    if (!engine_registry().find(name)) {
+      std::fprintf(stderr, "unknown engine '%s'; registered engines:\n",
+                   name.c_str());
+      list_engines(stderr);
+      return false;
+    }
+  }
+  return true;
+}
+
+ProgressFn progress_printer() {
+  return [](const EngineProgress& p) {
+    std::fprintf(stderr, "[%.*s] %zu states, %.1f s\n",
+                 static_cast<int>(p.engine.size()), p.engine.data(),
+                 p.states_explored, p.seconds);
+  };
+}
+
+/// Write the JSON suite report; I/O failures are runtime errors (70), not
+/// verdicts.
+bool write_json(const SuiteReport& report, const std::string& path) {
+  std::ofstream out(path);
+  out << report.to_json();
+  out.flush();  // surface buffered write errors (disk full) before testing
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write JSON report to %s\n",
+                 path.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "JSON report written to %s\n", path.c_str());
+  return true;
+}
+
+SuiteOptions suite_options(const VerifyCliOptions& cli, SuiteMode mode) {
+  SuiteOptions opts;
+  opts.mode = mode;
+  opts.jobs = cli.jobs;
+  opts.engines = cli.engines;
+  opts.budget.max_states = cli.max_states;
+  opts.budget.max_seconds = cli.timeout_seconds;
+  opts.max_refinements = cli.max_ref;
+  if (cli.progress) opts.progress = progress_printer();
+  return opts;
+}
+
+int finish_suite(const SuiteReport& report, const VerifyCliOptions& cli) {
+  std::printf("%s", format_table(report).c_str());
+  if (!cli.json_path.empty() && !write_json(report, cli.json_path))
+    return kExitRuntime;
+  return exit_code(report.overall());
+}
 
 int cmd_verify(const std::vector<std::string>& files,
                const VerifyCliOptions& cli) {
-  const Engine* engine = engine_registry().find(cli.engine);
-  if (!engine) {
-    std::fprintf(stderr, "unknown engine '%s'; registered engines:\n",
-                 cli.engine.c_str());
-    list_engines(stderr);
-    return 2;
+  if (cli.engines.size() > 1) {
+    std::fprintf(stderr,
+                 "verify runs a single engine; use 'suite' or 'portfolio' "
+                 "for several\n");
+    return kExitUsage;
   }
+  const std::string name = cli.engines.empty() ? "refine" : cli.engines[0];
+  if (!engines_exist({name})) return kExitUsage;
+  const Engine* engine = engine_registry().find(name);
 
   const LoadedModules mods = load_all(files);
   DeadlockFreedom dead;
@@ -159,16 +243,10 @@ int cmd_verify(const std::vector<std::string>& files,
   req.budget.max_states = cli.max_states;
   req.budget.max_seconds = cli.timeout_seconds;
   req.max_refinements = cli.max_ref;
-  if (cli.progress) {
-    req.progress = [](const EngineProgress& p) {
-      std::fprintf(stderr, "[%.*s] %zu states, %.1f s\n",
-                   static_cast<int>(p.engine.size()), p.engine.data(),
-                   p.states_explored, p.seconds);
-    };
-  }
+  if (cli.progress) req.progress = progress_printer();
 
   const EngineResult r = engine->run(req);
-  std::printf("== verify (engine: %s) ==\n", cli.engine.c_str());
+  std::printf("== verify (engine: %s) ==\n", name.c_str());
   std::printf("verdict:      %s\n", to_string(r.verdict));
   // Each engine counts its own exploration unit.
   if (const auto* zs = std::get_if<ZoneEngineStats>(&r.stats)) {
@@ -199,7 +277,66 @@ int cmd_verify(const std::vector<std::string>& files,
         std::printf("%s\n", c.c_str());
     }
   }
-  return r.verified() ? 0 : 1;
+  return exit_code(r.verdict);
+}
+
+int cmd_suite(const std::vector<std::string>& files,
+              const VerifyCliOptions& cli) {
+  if (!engines_exist(cli.engines)) return kExitUsage;
+
+  // Every input file is one independent (closed-system) obligation, named
+  // by its path so scripted callers can key the JSON records.
+  Suite suite;
+  const SafetyProperty* dead =
+      cli.deadlock ? suite.own(std::make_unique<DeadlockFreedom>()) : nullptr;
+  const SafetyProperty* pers =
+      cli.persistency ? suite.own(std::make_unique<PersistencyProperty>())
+                      : nullptr;
+  for (const std::string& f : files) {
+    const Module* m = suite.own(elaborate(load(f)));
+    std::fprintf(stderr, "loaded %s: %zu states, %zu events\n",
+                 m->name().c_str(), m->ts().num_states(),
+                 m->ts().num_events());
+    std::vector<const SafetyProperty*> props;
+    if (dead) props.push_back(dead);
+    if (pers) props.push_back(pers);
+    Obligation& ob = suite.add(f, {m}, props);
+    ob.max_refinements = cli.max_ref;
+  }
+
+  const SuiteReport report =
+      run_suite(suite, suite_options(cli, SuiteMode::kBatch));
+  return finish_suite(report, cli);
+}
+
+int cmd_portfolio(const std::vector<std::string>& files,
+                  const VerifyCliOptions& cli) {
+  if (!engines_exist(cli.engines)) return kExitUsage;
+
+  // One obligation: the composition of every input file, raced by the
+  // selected engines (all registered engines by default).
+  Suite suite;
+  std::vector<const Module*> modules;
+  std::string name;
+  for (const std::string& f : files) {
+    const Module* m = suite.own(elaborate(load(f)));
+    std::fprintf(stderr, "loaded %s: %zu states, %zu events\n",
+                 m->name().c_str(), m->ts().num_states(),
+                 m->ts().num_events());
+    modules.push_back(m);
+    if (!name.empty()) name += " || ";
+    name += m->name();
+  }
+  std::vector<const SafetyProperty*> props;
+  if (cli.deadlock) props.push_back(suite.own(std::make_unique<DeadlockFreedom>()));
+  if (cli.persistency)
+    props.push_back(suite.own(std::make_unique<PersistencyProperty>()));
+  Obligation& ob = suite.add(std::move(name), std::move(modules), props);
+  ob.max_refinements = cli.max_ref;
+
+  const SuiteReport report =
+      run_suite(suite, suite_options(cli, SuiteMode::kPortfolio));
+  return finish_suite(report, cli);
 }
 
 int cmd_simulate(const std::vector<std::string>& files, std::size_t events,
@@ -243,15 +380,16 @@ int cmd_minimize(const std::string& file) {
   return 0;
 }
 
-int cmd_ipcmos() {
-  const auto rows = ipcmos::run_all_experiments();
-  std::vector<ExperimentRow> table;
-  for (const auto& row : rows) table.push_back(summarize(row.name, row.result));
-  std::printf("%s", format_table(table).c_str());
-  for (const auto& row : rows) {
-    if (!row.result.verified()) return 1;
-  }
-  return 0;
+int cmd_ipcmos(const VerifyCliOptions& cli) {
+  if (!engines_exist(cli.engines)) return kExitUsage;
+  const Suite suite = ipcmos::table1_suite();
+  const SuiteReport report =
+      run_suite(suite, suite_options(cli, SuiteMode::kBatch));
+  // The paper's table shape: refinement counts per experiment.
+  std::printf("%s", format_table(rows_from(report)).c_str());
+  if (!cli.json_path.empty() && !write_json(report, cli.json_path))
+    return kExitRuntime;
+  return exit_code(report.overall());
 }
 
 }  // namespace
@@ -271,7 +409,7 @@ int main(int argc, char** argv) {
     auto next = [&]() -> std::string {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "missing value for %s\n", arg.c_str());
-        std::exit(2);
+        std::exit(kExitUsage);
       }
       return argv[++i];
     };
@@ -281,14 +419,19 @@ int main(int argc, char** argv) {
       vopts.persistency = false;
     } else if (arg == "--max-ref") {
       vopts.max_ref = parse_size(arg, next());
-    } else if (arg == "--engine") {
-      vopts.engine = next();
+    } else if (arg == "--engine" || arg == "--engines") {
+      for (std::string& name : split_csv(next()))
+        vopts.engines.push_back(std::move(name));
     } else if (arg == "--timeout") {
       vopts.timeout_seconds = parse_double(arg, next());
     } else if (arg == "--max-states") {
       vopts.max_states = parse_size(arg, next());
     } else if (arg == "--progress") {
       vopts.progress = true;
+    } else if (arg == "--jobs") {
+      vopts.jobs = parse_size(arg, next());
+    } else if (arg == "--json") {
+      vopts.json_path = next();
     } else if (arg == "--events") {
       events = parse_size(arg, next());
     } else if (arg == "--seed") {
@@ -307,15 +450,18 @@ int main(int argc, char** argv) {
 
   try {
     if (cmd == "verify" && !files.empty()) return cmd_verify(files, vopts);
+    if (cmd == "suite" && !files.empty()) return cmd_suite(files, vopts);
+    if (cmd == "portfolio" && !files.empty())
+      return cmd_portfolio(files, vopts);
     if (cmd == "engines") return cmd_engines();
     if (cmd == "simulate" && !files.empty())
       return cmd_simulate(files, events, seed, vcd, signals);
     if (cmd == "dot" && files.size() == 1) return cmd_dot(files[0]);
     if (cmd == "minimize" && files.size() == 1) return cmd_minimize(files[0]);
-    if (cmd == "ipcmos") return cmd_ipcmos();
+    if (cmd == "ipcmos") return cmd_ipcmos(vopts);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return kExitRuntime;
   }
   return usage();
 }
