@@ -1,0 +1,403 @@
+// Intra-obligation concurrency substrate.
+//
+// PR 3's suite scheduler parallelizes *across* obligations; this header is
+// the substrate for parallelizing *inside* one: the BFS hot loops of
+// compose() (src/ts/compose.cpp) and discrete_explore()
+// (src/zone/discrete.cpp) are rebuilt on it so N workers expand disjoint
+// slices of one frontier.
+//
+// The building blocks:
+//
+//   * resolve_jobs()       — the one "0 = all hardware threads" rule;
+//   * LayeredRunner        — a persistent worker pool around
+//                            layer-synchronous BFS: every worker processes
+//                            the current frontier, a barrier, then the
+//                            caller merges results and publishes the next
+//                            layer;
+//   * WorkStealingRanges   — the frontier scheduler: the layer is cut into
+//                            fixed chunks, each worker owns a contiguous
+//                            chunk range and steals the tail half of the
+//                            largest victim when its own range drains.
+//                            Chunk ordinals are stable, so per-chunk output
+//                            buckets can be merged in deterministic order
+//                            no matter which worker ran them;
+//   * ShardedInterner      — a hash-partitioned `seen`/`index` map
+//                            (per-shard mutex + arena) with a global
+//                            atomic size cap, so the state budget is a
+//                            real insertion-time ceiling even when N
+//                            workers insert concurrently.
+//
+// Determinism contract (docs/ARCHITECTURE.md has the long form): the set of
+// states discovered per BFS layer is schedule-independent, violations are
+// reported earliest-in-BFS-order, and compose() merges per-chunk buckets in
+// chunk order — so verdicts never depend on the worker count.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace rtv {
+
+/// The library-wide jobs convention: 0 = one worker per hardware thread,
+/// otherwise exactly `jobs` workers (never less than one).
+inline std::size_t resolve_jobs(std::size_t jobs) {
+  if (jobs != 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? static_cast<std::size_t>(hw) : 1;
+}
+
+/// Chunk granularity for splitting a frontier of `items` across `jobs`
+/// workers: one chunk for a single worker (no scheduling overhead), else
+/// ~8 chunks per worker bounded away from degenerate sizes.
+inline std::size_t frontier_chunk_size(std::size_t items, std::size_t jobs) {
+  if (jobs <= 1 || items == 0) return items ? items : 1;
+  const std::size_t target = items / (jobs * 8) + 1;
+  const std::size_t lo = 16, hi = 1024;
+  return target < lo ? lo : (target > hi ? hi : target);
+}
+
+/// Reusable barrier (mutex + condvar; portable and TSan-clean).
+class CyclicBarrier {
+ public:
+  explicit CyclicBarrier(std::size_t parties) : parties_(parties) {}
+
+  void arrive_and_wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const std::uint64_t phase = phase_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++phase_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return phase_ != phase; });
+    }
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t parties_;
+  std::size_t arrived_ = 0;
+  std::uint64_t phase_ = 0;
+};
+
+/// Layer-synchronous execution: `process(worker)` runs on every worker
+/// (the calling thread is worker 0), then the calling thread runs `merge()`
+/// alone; a false return from merge() ends the run.  With one job no
+/// threads are spawned and the loop runs inline — the sequential and
+/// parallel paths are the same code.
+///
+/// A worker exception is captured, the run winds down at the next barrier,
+/// and the exception is rethrown on the calling thread.
+class LayeredRunner {
+ public:
+  explicit LayeredRunner(std::size_t jobs) : jobs_(jobs ? jobs : 1) {}
+
+  std::size_t jobs() const { return jobs_; }
+
+  void run(const std::function<void(std::size_t)>& process,
+           const std::function<bool()>& merge) {
+    if (jobs_ <= 1) {
+      for (;;) {
+        process(0);
+        if (!merge()) return;
+      }
+    }
+
+    CyclicBarrier start(jobs_), end(jobs_);
+    std::atomic<bool> done{false};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+
+    const auto guarded = [&](std::size_t worker) {
+      try {
+        process(worker);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(jobs_ - 1);
+    for (std::size_t id = 1; id < jobs_; ++id) {
+      pool.emplace_back([&, id] {
+        for (;;) {
+          start.arrive_and_wait();
+          if (done.load(std::memory_order_acquire)) return;
+          guarded(id);
+          end.arrive_and_wait();
+        }
+      });
+    }
+
+    bool more = true;
+    while (more) {
+      start.arrive_and_wait();
+      guarded(0);
+      end.arrive_and_wait();
+      bool failed;
+      {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        failed = static_cast<bool>(error);
+      }
+      if (failed) {
+        more = false;
+      } else {
+        // merge() may throw (e.g. bad_alloc interning a huge layer); the
+        // exception must not escape before the shutdown handshake below,
+        // or the parked workers would be destroyed while joinable.
+        try {
+          more = merge();
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!error) error = std::current_exception();
+          more = false;
+        }
+      }
+    }
+    done.store(true, std::memory_order_release);
+    start.arrive_and_wait();
+    for (std::thread& t : pool) t.join();
+    {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (error) std::rethrow_exception(error);
+    }
+  }
+
+ private:
+  std::size_t jobs_;
+};
+
+/// Work-stealing partition of one BFS layer.  The layer's item indices
+/// [0, items) are cut into fixed chunks; reset() deals the chunk ordinals
+/// [0, num_chunks) to the workers as contiguous ranges.  next(w) pops the
+/// front chunk of w's range; a drained worker steals the tail half of the
+/// victim with the most chunks left.  Every chunk is returned exactly once;
+/// chunk `c` always covers items [c*chunk, min((c+1)*chunk, items)), so
+/// per-chunk output buckets line up deterministically.
+class WorkStealingRanges {
+ public:
+  void reset(std::size_t items, std::size_t chunk, std::size_t workers) {
+    items_ = items;
+    chunk_ = chunk ? chunk : 1;
+    num_chunks_ = items_ ? (items_ + chunk_ - 1) / chunk_ : 0;
+    if (slots_.size() < workers) {
+      slots_ = std::vector<Slot>(workers);
+    }
+    workers_ = workers;
+    // Deal contiguous, balanced chunk ranges.
+    const std::size_t base = workers ? num_chunks_ / workers : 0;
+    const std::size_t extra = workers ? num_chunks_ % workers : 0;
+    std::size_t lo = 0;
+    for (std::size_t w = 0; w < workers; ++w) {
+      const std::size_t take = base + (w < extra ? 1 : 0);
+      slots_[w].range.store(pack(static_cast<std::uint32_t>(lo),
+                                 static_cast<std::uint32_t>(lo + take)),
+                            std::memory_order_relaxed);
+      lo += take;
+    }
+  }
+
+  struct Chunk {
+    std::size_t ordinal;  ///< chunk index (stable bucket id)
+    std::size_t begin;    ///< first item index
+    std::size_t end;      ///< one past the last item index
+  };
+
+  std::size_t num_chunks() const { return num_chunks_; }
+
+  /// The next chunk for this worker, or nullopt when the layer is drained.
+  std::optional<Chunk> next(std::size_t worker) {
+    for (;;) {
+      // Pop the front chunk of our own range.
+      std::uint64_t cur = slots_[worker].range.load(std::memory_order_relaxed);
+      for (;;) {
+        const std::uint32_t lo = unpack_lo(cur), hi = unpack_hi(cur);
+        if (lo >= hi) break;
+        if (slots_[worker].range.compare_exchange_weak(
+                cur, pack(lo + 1, hi), std::memory_order_acq_rel,
+                std::memory_order_relaxed)) {
+          return make_chunk(lo);
+        }
+      }
+      // Empty: steal the tail half of the fullest victim.
+      std::size_t victim = workers_;
+      std::uint32_t best = 0;
+      for (std::size_t v = 0; v < workers_; ++v) {
+        if (v == worker) continue;
+        const std::uint64_t r = slots_[v].range.load(std::memory_order_relaxed);
+        const std::uint32_t size = unpack_hi(r) - std::min(unpack_lo(r), unpack_hi(r));
+        if (size > best) {
+          best = size;
+          victim = v;
+        }
+      }
+      if (victim == workers_) return std::nullopt;  // nothing left anywhere
+      std::uint64_t r = slots_[victim].range.load(std::memory_order_relaxed);
+      const std::uint32_t lo = unpack_lo(r), hi = unpack_hi(r);
+      if (lo >= hi) continue;  // drained meanwhile; rescan
+      const std::uint32_t mid = lo + (hi - lo) / 2;  // victim keeps [lo, mid)
+      if (slots_[victim].range.compare_exchange_strong(
+              r, pack(lo, mid), std::memory_order_acq_rel,
+              std::memory_order_relaxed)) {
+        slots_[worker].range.store(pack(mid, hi), std::memory_order_release);
+      }
+      // Either way, loop back and retry from our own range.
+    }
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> range{0};
+  };
+
+  static std::uint64_t pack(std::uint32_t lo, std::uint32_t hi) {
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+  }
+  static std::uint32_t unpack_lo(std::uint64_t r) {
+    return static_cast<std::uint32_t>(r >> 32);
+  }
+  static std::uint32_t unpack_hi(std::uint64_t r) {
+    return static_cast<std::uint32_t>(r);
+  }
+
+  Chunk make_chunk(std::size_t ordinal) const {
+    const std::size_t begin = ordinal * chunk_;
+    const std::size_t end = std::min(begin + chunk_, items_);
+    return Chunk{ordinal, begin, end};
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t workers_ = 0;
+  std::size_t items_ = 0;
+  std::size_t chunk_ = 1;
+  std::size_t num_chunks_ = 0;
+};
+
+/// Stable reference into a ShardedInterner: (shard, slot-in-shard).
+struct ShardHandle {
+  std::uint32_t shard = kInvalid;
+  std::uint32_t index = kInvalid;
+
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+  constexpr bool valid() const { return shard != kInvalid; }
+
+  friend constexpr bool operator==(ShardHandle a, ShardHandle b) {
+    return a.shard == b.shard && a.index == b.index;
+  }
+};
+
+/// Hash-partitioned concurrent interner: Key -> stable slot carrying a
+/// Value.  Each shard holds a mutex, a map and a deque arena, so inserts in
+/// different shards never contend; a global atomic count enforces
+/// `max_size` as a hard insertion-time ceiling (an insert that would exceed
+/// it is rejected and budget_hit() latches).
+///
+/// Concurrency contract: insert() may be called from any number of threads.
+/// value() must not race with insert() into the same interner — the BFS
+/// loops only call it between layers (after the barrier) and when unwinding
+/// a finished run; during expansion, existing slots are touched only via
+/// the on_existing callback, which runs under the shard lock.
+template <class Key, class Value, class Hash = std::hash<Key>>
+class ShardedInterner {
+ public:
+  /// `max_size` caps the number of retained keys (inserts beyond it are
+  /// rejected); shard_count is rounded up to a power of two.
+  explicit ShardedInterner(std::size_t max_size, std::size_t shard_count = 1)
+      : max_size_(max_size) {
+    std::size_t n = 1;
+    while (n < shard_count && n < 256) n <<= 1;
+    shards_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      shards_.push_back(std::make_unique<Shard>());
+    shift_ = 64;
+    for (std::size_t s = n; s > 1; s >>= 1) --shift_;
+  }
+
+  struct InsertResult {
+    bool inserted = false;     ///< key was new and retained
+    bool over_budget = false;  ///< key was new but the size cap rejected it
+    ShardHandle handle;        ///< valid when retained or already present
+  };
+
+  /// Intern `key`.  When the key is new and within budget, `make_value()`
+  /// builds its slot; when it is already present, `on_existing(Value&)`
+  /// runs under the shard lock (the hook the BFS loops use to keep the
+  /// earliest-discovery metadata deterministic).
+  template <class MakeValue, class OnExisting>
+  InsertResult insert(const Key& key, MakeValue&& make_value,
+                      OnExisting&& on_existing) {
+    const std::size_t h = Hash{}(key);
+    const std::uint32_t si = shard_of(h);
+    Shard& shard = *shards_[si];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      on_existing(shard.values[it->second]);
+      return InsertResult{false, false, ShardHandle{si, it->second}};
+    }
+    const std::size_t n = count_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (n > max_size_) {
+      count_.fetch_sub(1, std::memory_order_relaxed);
+      budget_hit_.store(true, std::memory_order_relaxed);
+      return InsertResult{false, true, ShardHandle{}};
+    }
+    const std::uint32_t idx = static_cast<std::uint32_t>(shard.values.size());
+    shard.values.push_back(make_value());
+    shard.map.emplace(key, idx);
+    return InsertResult{true, false, ShardHandle{si, idx}};
+  }
+
+  Value& value(ShardHandle h) { return shards_[h.shard]->values[h.index]; }
+  const Value& value(ShardHandle h) const {
+    return shards_[h.shard]->values[h.index];
+  }
+
+  /// Number of retained keys (never exceeds max_size).
+  std::size_t size() const { return count_.load(std::memory_order_relaxed); }
+  /// True once any insert was rejected by the size cap.
+  bool budget_hit() const {
+    return budget_hit_.load(std::memory_order_relaxed);
+  }
+
+  /// Pre-size every shard's map for ~expected total keys.
+  void reserve(std::size_t expected_total) {
+    const std::size_t per_shard = expected_total / shards_.size() + 1;
+    for (auto& s : shards_) s->map.reserve(per_shard);
+  }
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<Key, std::uint32_t, Hash> map;
+    std::deque<Value> values;
+  };
+
+  std::uint32_t shard_of(std::size_t h) const {
+    if (shards_.size() == 1) return 0;
+    return static_cast<std::uint32_t>(
+        (h * 0x9e3779b97f4a7c15ull) >> shift_);
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  unsigned shift_ = 64;
+  std::atomic<std::size_t> count_{0};
+  std::atomic<bool> budget_hit_{false};
+  std::size_t max_size_;
+};
+
+}  // namespace rtv

@@ -30,8 +30,15 @@ struct ChokeRecord {
 
 struct ComposeOptions {
   bool track_chokes = false;
-  /// Abort exploration beyond this many composed states.
+  /// Hard ceiling on composed states, enforced at insertion: the result
+  /// never holds more than max_states states (the initial state is always
+  /// admitted); a rejected insertion truncates the composition.
   std::size_t max_states = 2'000'000;
+  /// Worker threads for the product BFS (0 = one per hardware thread,
+  /// 1 = sequential).  The result is bit-identical for every job count:
+  /// state numbering, transition order and choke order all match the
+  /// sequential exploration.
+  std::size_t jobs = 1;
   /// Optional cooperative stop hook, polled once per expanded composed
   /// state with the current state count.  A non-null return aborts the
   /// composition (truncated, with that reason) — the verification engines
@@ -57,6 +64,11 @@ struct Composition {
 /// Compose modules over their shared alphabets.  The result's initial state
 /// is the tuple of component initial states; only reachable product states
 /// are materialised.
+///
+/// Throws std::invalid_argument when two modules declare contradictory
+/// delay bounds for the same label (an empty intersection would silently
+/// make the event unfireable); the message names the label and every
+/// participating module with its interval.
 Composition compose(const std::vector<const Module*>& modules,
                     const ComposeOptions& options = {});
 

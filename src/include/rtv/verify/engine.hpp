@@ -111,6 +111,10 @@ inline constexpr const char* kRefinementBudget =
 /// range, so integer-age exploration cannot represent the system.
 inline constexpr const char* kDigitizationRange =
     "timing constants exceed the digitized age range";
+/// The engine threw instead of returning a result (e.g. compose() rejects
+/// contradictory delay bounds); the what() string goes in
+/// EngineResult::message.
+inline constexpr const char* kEngineError = "engine raised an error";
 }  // namespace stop_reason
 
 /// Hot-loop guard threading one RunBudget's deadline + cancellation (and
@@ -160,6 +164,11 @@ struct EngineRequest {
   bool track_chokes = true;
   /// Refinement-engine knob (iteration cap); exact engines ignore it.
   std::size_t max_refinements = 500;
+  /// Worker threads *inside* this one obligation (0 = one per hardware
+  /// thread, 1 = sequential).  Parallel engines shard their frontier
+  /// across the workers (compose() for every engine, the digitized BFS
+  /// for "discrete"); verdicts never depend on the worker count.
+  std::size_t jobs = 1;
 };
 
 /// Engine-specific statistics, carried alongside the common fields.

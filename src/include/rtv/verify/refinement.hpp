@@ -43,6 +43,11 @@ struct VerifyOptions {
   /// Wave cap of the refined states' timing annotation (see
   /// RefinedSystem::set_max_waves); smaller = coarser but cheaper.
   std::size_t max_waves = 6;
+  /// Worker threads for the composition phase (0 = one per hardware
+  /// thread, 1 = sequential).  The refinement loop itself is sequential:
+  /// each iteration's failure search depends on the previous iteration's
+  /// derived constraints.
+  std::size_t jobs = 1;
 };
 
 /// One refinement iteration: the failure that was found and the relative

@@ -103,8 +103,11 @@ const char* to_string(SuiteMode mode);
 
 struct SuiteOptions {
   SuiteMode mode = SuiteMode::kBatch;
-  /// Worker threads; 0 = std::thread::hardware_concurrency(), clamped to
-  /// the task count (and at least 1).
+  /// Global worker budget; 0 = std::thread::hardware_concurrency().  The
+  /// scheduler first parallelizes across obligation×engine tasks (clamped
+  /// to the task count, at least 1); when fewer tasks than workers remain,
+  /// the surplus is handed to the engines as intra-obligation workers
+  /// (EngineRequest::jobs), so `jobs` caps total concurrency either way.
   std::size_t jobs = 0;
   /// Registry names of the engines to run.  Empty selects the default:
   /// {"refine"} in batch mode, every registered engine in portfolio mode.

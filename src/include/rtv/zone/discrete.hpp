@@ -23,8 +23,15 @@
 namespace rtv {
 
 struct DiscreteVerifyOptions {
+  /// Hard ceiling on explored (location, valuation) configs, enforced at
+  /// insertion: the run never retains more configs than this.
   std::size_t max_states = 4'000'000;
   bool track_chokes = true;
+  /// Worker threads for the digitized BFS (0 = one per hardware thread,
+  /// 1 = sequential).  Verdicts, violation choice and counterexample
+  /// traces are identical for every job count: exploration is
+  /// layer-synchronous and the first violation in BFS order wins.
+  std::size_t jobs = 1;
   /// Wall-clock deadline in seconds; 0 means none.
   double max_seconds = 0.0;
   /// Optional cooperative cancellation (not owned; may be null).
@@ -44,6 +51,9 @@ struct DiscreteVerifyResult {
   bool truncated = false;
   std::string truncated_reason;      ///< why, when truncated
   std::string description;
+  /// Event labels leading to the violation (delay ticks are implicit, as
+  /// in the zone engine's traces); empty when not violated.
+  std::vector<std::string> trace_labels;
   std::size_t states_explored = 0;   ///< (location, valuation) pairs
   std::size_t discrete_states = 0;   ///< distinct locations reached
   double seconds = 0.0;

@@ -24,8 +24,16 @@
 namespace rtv {
 
 struct ZoneVerifyOptions {
+  /// Hard ceiling on stored zones, enforced at insertion (the initial zone
+  /// is always admitted): the run never stores more zones than this.
   std::size_t max_zones = 2'000'000;
   bool track_chokes = true;
+  /// Worker threads (0 = one per hardware thread, 1 = sequential).  Only
+  /// the composition phase is parallel today: the zone expansion itself
+  /// stays sequential because subsumption makes its exploration order
+  /// load-bearing (sharding it is future work), but the knob is plumbed
+  /// through so a parallel zone backend can slot in without API churn.
+  std::size_t jobs = 1;
   /// Wall-clock deadline in seconds; 0 means none.
   double max_seconds = 0.0;
   /// Optional cooperative cancellation (not owned; may be null).

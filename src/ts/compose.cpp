@@ -1,13 +1,15 @@
 #include "rtv/ts/compose.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
-#include <deque>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
 
 #include "rtv/base/log.hpp"
+#include "rtv/base/parallel.hpp"
 
 namespace rtv {
 
@@ -20,6 +22,26 @@ struct TupleHash {
       h ^= std::hash<StateId>()(s) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
     return h;
   }
+};
+
+/// One product transition discovered during a layer's expansion.  Targets
+/// already interned before the layer started carry `known`; fresh tuples
+/// carry the tuple plus its pre-merged valuation so the sequential merge
+/// only pays for the hash-map insert.
+struct PendingEdge {
+  std::uint32_t src = 0;    ///< index into the current frontier
+  std::uint32_t label = 0;  ///< composed label index
+  StateId known = StateId::invalid();
+  std::vector<StateId> tuple;
+  BitVec valuation;
+};
+
+/// Per-chunk expansion output; merged in chunk-ordinal order, which equals
+/// (frontier order, label order) — exactly the sequential exploration
+/// order, so the composed system is bit-identical for every job count.
+struct ChunkOut {
+  std::vector<PendingEdge> edges;
+  std::vector<ChokeRecord> chokes;
 };
 
 }  // namespace
@@ -67,6 +89,23 @@ Composition compose(const std::vector<const Module*>& modules,
       if (ev.kind == EventKind::kOutput) any_output = true;
       if (ev.kind == EventKind::kInput) any_input = true;
     }
+    if (!delay.valid()) {
+      // An empty intersection would leave the event forever unfireable —
+      // a modelling contradiction, not a composable system.  Fail loudly
+      // with every participant's bounds instead of exploring a system
+      // whose semantics nobody intended.
+      std::ostringstream os;
+      os << "compose: contradictory delay bounds for label '" << labels[li]
+         << "':";
+      for (std::size_t mi = 0; mi < n_mod; ++mi) {
+        const EventId le = local_event[li][mi];
+        if (!le.valid()) continue;
+        os << " " << modules[mi]->name() << " declares "
+           << modules[mi]->ts().event(le).delay.to_string();
+      }
+      os << " (empty intersection)";
+      throw std::invalid_argument(os.str());
+    }
     if (any_output) {
       kind = EventKind::kOutput;
     } else if (any_input) {
@@ -109,78 +148,162 @@ Composition compose(const std::vector<const Module*>& modules,
   };
 
   // ---- reachable product exploration -------------------------------------
+  //
+  // Layer-synchronous parallel BFS (rtv/base/parallel.hpp): workers expand
+  // disjoint chunks of the current frontier into per-chunk buckets (probing
+  // the interning map read-only — it is written only between layers), then
+  // the merge phase interns fresh tuples and appends transitions/chokes in
+  // chunk order.  That order equals the sequential (frontier, label) order,
+  // so the composition is identical for every job count.
   std::unordered_map<std::vector<StateId>, StateId, TupleHash> index;
-  std::deque<StateId> queue;
+  std::vector<StateId> frontier, next_frontier;
+  bool truncated_budget = false;
 
-  auto intern = [&](const std::vector<StateId>& tuple) {
-    auto it = index.find(tuple);
+  auto intern = [&](std::vector<StateId>&& tuple,
+                    BitVec&& valuation) -> std::optional<StateId> {
+    const auto it = index.find(tuple);
     if (it != index.end()) return it->second;
+    if (out.ts.num_states() >= options.max_states) {
+      truncated_budget = true;
+      return std::nullopt;
+    }
     const StateId s = out.ts.add_state();
-    if (with_valuations) out.ts.set_state_valuation(s, merged_valuation(tuple));
+    if (with_valuations) out.ts.set_state_valuation(s, std::move(valuation));
     out.component_states.push_back(tuple);
-    index.emplace(tuple, s);
-    queue.push_back(s);
+    index.emplace(std::move(tuple), s);
+    next_frontier.push_back(s);
     return s;
   };
 
-  std::vector<StateId> init_tuple;
-  for (const Module* m : modules) {
-    assert(m->ts().initial().valid());
-    init_tuple.push_back(m->ts().initial());
+  {
+    std::vector<StateId> init_tuple;
+    for (const Module* m : modules) {
+      assert(m->ts().initial().valid());
+      init_tuple.push_back(m->ts().initial());
+    }
+    // The initial state bypasses the cap: a composition without its initial
+    // state is meaningless.  A zero budget still yields it, truncated.
+    const StateId s0 = out.ts.add_state();
+    if (with_valuations)
+      out.ts.set_state_valuation(s0, merged_valuation(init_tuple));
+    out.component_states.push_back(init_tuple);
+    index.emplace(std::move(init_tuple), s0);
+    out.ts.set_initial(s0);
+    next_frontier.push_back(s0);
+    if (out.ts.num_states() > options.max_states) truncated_budget = true;
   }
-  out.ts.set_initial(intern(init_tuple));
 
-  while (!queue.empty()) {
-    if (out.ts.num_states() > options.max_states) {
-      out.truncated = true;
-      RTV_WARN << "composition truncated at " << out.ts.num_states() << " states";
-      break;
-    }
-    if (options.stop) {
-      if (const char* reason = options.stop(out.ts.num_states())) {
-        out.truncated = true;
-        out.truncated_reason = reason;
-        RTV_WARN << "composition stopped: " << reason;
-        break;
-      }
-    }
-    const StateId s = queue.front();
-    queue.pop_front();
-    const std::vector<StateId> tuple = out.component_states[s.value()];
+  const std::size_t jobs = resolve_jobs(options.jobs);
+  LayeredRunner runner(jobs);
+  WorkStealingRanges ranges;
+  std::vector<ChunkOut> buckets;
+  // Cooperative stop, set by worker 0 from the caller's stop hook (which is
+  // not thread-safe; only worker 0 ever polls it).
+  std::atomic<const char*> stop_flag{nullptr};
 
-    for (std::size_t li = 0; li < labels.size(); ++li) {
-      bool all_ready = true;
-      bool producer_ready = false;
-      std::size_t producer = n_mod, blocker = n_mod;
-      std::vector<StateId> next = tuple;
-      for (std::size_t mi = 0; mi < n_mod; ++mi) {
-        const EventId le = local_event[li][mi];
-        if (!le.valid()) continue;  // module does not participate
-        const auto succ = modules[mi]->ts().successor(tuple[mi], le);
-        if (succ) {
-          next[mi] = *succ;
-          if (modules[mi]->ts().event(le).kind == EventKind::kOutput) {
-            producer_ready = true;
-            producer = mi;
+  const auto process = [&](std::size_t worker) {
+    while (const auto chunk = ranges.next(worker)) {
+      if (stop_flag.load(std::memory_order_relaxed)) return;
+      ChunkOut& bucket = buckets[chunk->ordinal];
+      for (std::size_t i = chunk->begin; i != chunk->end; ++i) {
+        if (worker == 0 && options.stop) {
+          if (const char* reason = options.stop(out.ts.num_states())) {
+            stop_flag.store(reason, std::memory_order_relaxed);
+            return;
           }
-        } else {
-          all_ready = false;
-          if (blocker == n_mod) blocker = mi;
+        }
+        const StateId s = frontier[i];
+        const std::vector<StateId>& tuple = out.component_states[s.value()];
+        for (std::size_t li = 0; li < labels.size(); ++li) {
+          bool all_ready = true;
+          bool producer_ready = false;
+          std::size_t producer = n_mod, blocker = n_mod;
+          std::vector<StateId> next = tuple;
+          for (std::size_t mi = 0; mi < n_mod; ++mi) {
+            const EventId le = local_event[li][mi];
+            if (!le.valid()) continue;  // module does not participate
+            const auto succ = modules[mi]->ts().successor(tuple[mi], le);
+            if (succ) {
+              next[mi] = *succ;
+              if (modules[mi]->ts().event(le).kind == EventKind::kOutput) {
+                producer_ready = true;
+                producer = mi;
+              }
+            } else {
+              all_ready = false;
+              if (blocker == n_mod) blocker = mi;
+            }
+          }
+          if (all_ready && producer == n_mod) {
+            // Purely-input label: fires only if some module owns it as
+            // output elsewhere; a label that nobody produces is driven by
+            // the implicit environment, so it still fires (open-system
+            // semantics).
+            producer_ready = true;
+          }
+          if (all_ready) {
+            PendingEdge edge;
+            edge.src = static_cast<std::uint32_t>(i);
+            edge.label = static_cast<std::uint32_t>(li);
+            const auto it = index.find(next);
+            if (it != index.end()) {
+              edge.known = it->second;
+            } else {
+              if (with_valuations) edge.valuation = merged_valuation(next);
+              edge.tuple = std::move(next);
+            }
+            bucket.edges.push_back(std::move(edge));
+          } else if (options.track_chokes && producer_ready) {
+            bucket.chokes.push_back(
+                ChokeRecord{s, composed_event[li], producer, blocker});
+          }
         }
       }
-      if (all_ready && producer == n_mod) {
-        // Purely-input label: fires only if some module owns it as output
-        // elsewhere; a label that nobody produces is driven by the implicit
-        // environment, so it still fires (open-system semantics).
-        producer_ready = true;
-      }
-      if (all_ready) {
-        out.ts.add_transition(s, composed_event[li], intern(next));
-      } else if (options.track_chokes && producer_ready) {
-        out.chokes.push_back(ChokeRecord{s, composed_event[li], producer, blocker});
-      }
     }
-  }
+  };
+
+  const auto merge = [&]() -> bool {
+    if (const char* reason = stop_flag.load(std::memory_order_relaxed)) {
+      out.truncated = true;
+      out.truncated_reason = reason;
+      RTV_WARN << "composition stopped: " << reason;
+      return false;
+    }
+    for (ChunkOut& bucket : buckets) {
+      for (PendingEdge& edge : bucket.edges) {
+        StateId target = edge.known;
+        if (!target.valid()) {
+          const auto interned =
+              intern(std::move(edge.tuple), std::move(edge.valuation));
+          if (!interned) break;  // budget ceiling: stop adding outright
+          target = *interned;
+        }
+        out.ts.add_transition(frontier[edge.src], composed_event[edge.label],
+                              target);
+      }
+      if (truncated_budget) break;
+      out.chokes.insert(out.chokes.end(), bucket.chokes.begin(),
+                        bucket.chokes.end());
+    }
+    if (truncated_budget) {
+      out.truncated = true;
+      RTV_WARN << "composition truncated at " << out.ts.num_states()
+               << " states";
+      return false;
+    }
+    frontier = std::move(next_frontier);
+    next_frontier.clear();
+    if (frontier.empty()) return false;
+    ranges.reset(frontier.size(), frontier_chunk_size(frontier.size(), jobs),
+                 jobs);
+    buckets.clear();
+    buckets.resize(ranges.num_chunks());
+    return true;
+  };
+
+  // The first merge() call publishes the initial frontier (or reports the
+  // degenerate zero-budget truncation) before any expansion work runs.
+  if (merge()) runner.run(process, merge);
 
   return out;
 }

@@ -78,6 +78,7 @@ class RefineEngine final : public Engine {
     opts.progress = request.progress;
     opts.progress_interval = request.progress_interval;
     opts.track_chokes = request.track_chokes;
+    opts.jobs = request.jobs;
     const VerificationResult r =
         verify_modules(request.modules, request.properties, opts);
 
@@ -116,6 +117,7 @@ class ZoneEngine final : public Engine {
     opts.progress = request.progress;
     opts.progress_interval = request.progress_interval;
     opts.track_chokes = request.track_chokes;
+    opts.jobs = request.jobs;
     const ZoneVerifyResult r =
         zone_verify(request.modules, request.properties, opts);
 
@@ -147,12 +149,14 @@ class DiscreteEngine final : public Engine {
     opts.progress = request.progress;
     opts.progress_interval = request.progress_interval;
     opts.track_chokes = request.track_chokes;
+    opts.jobs = request.jobs;
     const DiscreteVerifyResult r =
         discrete_verify(request.modules, request.properties, opts);
 
     EngineResult out;
     out.verdict = r.verdict();
     if (r.violated) out.message = r.description;
+    out.trace_labels = r.trace_labels;
     out.states_explored = r.states_explored;
     out.seconds = r.seconds;
     out.truncated_reason = r.truncated_reason;

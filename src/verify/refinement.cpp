@@ -42,6 +42,7 @@ VerificationResult verify_modules(
   ComposeOptions copts;
   copts.track_chokes = options.track_chokes;
   copts.max_states = options.max_states;
+  copts.jobs = options.jobs;
   copts.stop = [&clock](std::size_t states) { return clock.tick(states); };
   const Composition comp = compose(modules, copts);
   result.composed_states = comp.ts.num_states();

@@ -11,6 +11,8 @@
 #include <thread>
 #include <utility>
 
+#include "rtv/base/parallel.hpp"
+
 namespace rtv {
 
 // ---------------------------------------------------------------------------
@@ -135,10 +137,14 @@ SuiteReport run_suite(const Suite& suite, const SuiteOptions& options) {
   report.mode = options.mode;
   report.records.resize(tasks.size());
 
-  std::size_t jobs = options.jobs ? options.jobs
-                                  : std::thread::hardware_concurrency();
-  if (jobs == 0) jobs = 1;
-  jobs = std::min(jobs, std::max<std::size_t>(tasks.size(), 1));
+  // One global worker budget: obligation-level workers and the workers
+  // sharding a single obligation's frontier share options.jobs, so
+  // `--jobs N` is a true cap on concurrency.  With fewer tasks than
+  // workers, the surplus goes to intra-obligation sharding.
+  const std::size_t requested = resolve_jobs(options.jobs);
+  const std::size_t jobs =
+      std::min(requested, std::max<std::size_t>(tasks.size(), 1));
+  const std::size_t intra_jobs = std::max<std::size_t>(1, requested / jobs);
   report.jobs = jobs;
 
   const CancelToken* suite_cancel = options.budget.cancel;
@@ -175,6 +181,7 @@ SuiteReport run_suite(const Suite& suite, const SuiteOptions& options) {
     req.max_refinements = ob.max_refinements != 500 ? ob.max_refinements
                                                     : options.max_refinements;
     req.track_chokes = ob.track_chokes;
+    req.jobs = intra_jobs;
     req.progress_interval = options.progress_interval;
     // The wrapper piggybacks suite-wide cancellation on the progress hook:
     // engines poll ctl.token every tick, so cancelling it here stops the
@@ -191,7 +198,18 @@ SuiteReport run_suite(const Suite& suite, const SuiteOptions& options) {
     };
 
     const double cpu0 = thread_cpu_seconds();
-    rec.result = task.engine->run(req);
+    try {
+      rec.result = task.engine->run(req);
+    } catch (const std::exception& e) {
+      // An engine throw (compose() rejects contradictory delay bounds, a
+      // worker ran out of memory, ...) must not escape a pool thread —
+      // that would std::terminate the whole batch.  Record it against this
+      // obligation and let the rest of the suite finish.
+      rec.result = EngineResult{};
+      rec.result.verdict = Verdict::kInconclusive;
+      rec.result.truncated_reason = stop_reason::kEngineError;
+      rec.result.message = e.what();
+    }
     rec.cpu_seconds = thread_cpu_seconds() - cpu0;
 
     if (!definitive(rec.result.verdict)) return;

@@ -1,11 +1,15 @@
 #include "rtv/zone/discrete.hpp"
 
 #include <algorithm>
-#include <deque>
+#include <atomic>
 #include <limits>
+#include <mutex>
+#include <optional>
 #include <unordered_map>
+#include <utility>
 
 #include "rtv/base/log.hpp"
+#include "rtv/base/parallel.hpp"
 
 namespace rtv {
 
@@ -28,6 +32,32 @@ struct ConfigHash {
            (h >> 2);
     return h;
   }
+};
+
+/// Discovery metadata of one interned config: the parent pointer and firing
+/// label for counterexample unwinding, plus the BFS-order key that keeps
+/// discovery deterministic across job counts.  When several workers reach
+/// the same config in the same layer, the smallest key (and its parent)
+/// wins — the exact discovery the sequential exploration would record.
+struct ConfigMeta {
+  ShardHandle parent;              ///< invalid for the initial config
+  EventId via = EventId::invalid();  ///< fired event; invalid = delay tick
+  std::uint64_t order_key = 0;     ///< (frontier index << 16) | step ordinal
+  std::uint32_t layer = 0;         ///< BFS depth at discovery
+};
+
+struct FrontierItem {
+  ShardHandle handle;
+  Config cfg;
+};
+
+/// First violation in BFS order this layer (guarded by a mutex; violations
+/// are rare, contention is not a concern).
+struct Violation {
+  std::uint64_t key = 0;
+  std::string description;
+  ShardHandle leaf;   ///< config whose path leads to the violation
+  std::string extra;  ///< label appended after the path ("" when none)
 };
 
 }  // namespace
@@ -85,63 +115,75 @@ DiscreteVerifyResult discrete_explore(
     return d.upper_bounded() ? d.hi() : d.lo();
   };
 
-  std::unordered_map<Config, bool, ConfigHash> seen;
-  std::deque<Config> queue;
-  std::vector<bool> discrete_seen(ts.num_states(), false);
-  std::size_t discrete_count = 0;
+  // ---- layer-synchronous parallel BFS -------------------------------------
+  //
+  // The `seen` set is a sharded concurrent interner (rtv/base/parallel.hpp):
+  // N workers expand disjoint chunks of the current frontier, interning
+  // successors under per-shard locks with the state budget enforced as an
+  // insertion-time ceiling.  Each discovery carries a BFS-order key; the
+  // merge phase sorts the layer's discoveries by key, so the next frontier
+  // — and with it verdicts, the chosen violation and its counterexample
+  // trace — is identical for every job count.
+  const std::size_t jobs = resolve_jobs(options.jobs);
+  // The initial config always fits: a zero budget truncates after it.
+  const std::size_t cap = std::max<std::size_t>(options.max_states, 1);
+  ShardedInterner<Config, ConfigMeta, ConfigHash> interner(
+      cap, jobs == 1 ? 1 : 64);
   // Digitized exploration routinely visits 10^5-10^6 configs; a generous
   // initial bucket count avoids a cascade of rehashes on the hot path.
-  seen.reserve(std::min<std::size_t>(options.max_states, 1u << 16));
+  interner.reserve(std::min<std::size_t>(cap, 1u << 16));
 
-  auto push = [&](Config c) {
-    if (seen.emplace(c, true).second) {
-      if (!discrete_seen[c.state.value()]) {
-        discrete_seen[c.state.value()] = true;
-        ++discrete_count;
-      }
-      queue.push_back(std::move(c));
-    }
+  std::vector<bool> discrete_seen(ts.num_states(), false);
+  std::size_t discrete_count = 0;
+
+  std::vector<FrontierItem> frontier;
+  std::vector<std::vector<std::pair<ShardHandle, Config>>> discovered(jobs);
+  std::uint32_t current_layer = 0;
+
+  std::mutex violation_mutex;
+  std::optional<Violation> best;
+  const auto report_violation = [&](std::uint64_t key, std::string description,
+                                    ShardHandle leaf, std::string extra) {
+    std::lock_guard<std::mutex> lock(violation_mutex);
+    if (!best || key < best->key)
+      best = Violation{key, std::move(description), leaf, std::move(extra)};
   };
 
-  {
-    Config init;
-    init.state = ts.initial();
-    init.ages.assign(pseudo_enabled(init.state).size(), 0);
-    push(std::move(init));
-  }
+  std::atomic<const char*> stop_flag{nullptr};
 
-  auto finish = [&](DiscreteVerifyResult r) {
-    r.states_explored = seen.size();
-    r.discrete_states = discrete_count;
-    r.seconds = clock.seconds();
-    return r;
+  const auto try_push = [&](Config&& c, ShardHandle parent, EventId via,
+                            std::uint64_t key, std::size_t worker) {
+    const std::uint32_t next_layer = current_layer + 1;
+    const auto res = interner.insert(
+        c, [&] { return ConfigMeta{parent, via, key, next_layer}; },
+        [&](ConfigMeta& meta) {
+          if (meta.layer == next_layer && key < meta.order_key) {
+            meta.order_key = key;
+            meta.parent = parent;
+            meta.via = via;
+          }
+        });
+    if (res.inserted)
+      discovered[worker].emplace_back(res.handle, std::move(c));
   };
 
-  while (!queue.empty()) {
-    if (seen.size() > options.max_states) {
-      result.truncated = true;
-      result.truncated_reason = stop_reason::kStateBudget;
-      RTV_WARN << "discrete exploration truncated at " << seen.size();
-      break;
-    }
-    if (const char* reason = clock.tick(seen.size())) {
-      result.truncated = true;
-      result.truncated_reason = reason;
-      RTV_WARN << "discrete exploration stopped: " << reason;
-      break;
-    }
-    const Config cfg = queue.front();
-    queue.pop_front();
+  const auto process_state = [&](std::size_t idx, const FrontierItem& item,
+                                 std::size_t worker) {
+    const Config& cfg = item.cfg;
+    const std::uint64_t base = static_cast<std::uint64_t>(idx) << 16;
+    std::uint32_t ord = 0;
+    const auto next_key = [&] {
+      return base | std::min<std::uint32_t>(ord++, 0xffffu);
+    };
+
     const std::vector<EventId> clocked = pseudo_enabled(cfg.state);
     const std::vector<EventId> raw_enabled = ts.enabled_events(cfg.state);
     const PropertyContext ctx{ts, cfg.state, raw_enabled};
 
     for (const SafetyProperty* p : properties) {
-      if (auto v = p->check_state(ctx)) {
-        result.violated = true;
-        result.description = *v;
-        return finish(result);
-      }
+      const std::uint64_t key = next_key();
+      if (auto v = p->check_state(ctx))
+        report_violation(key, *v, item.handle, {});
     }
 
     auto age_of = [&](EventId e) -> Time {
@@ -152,11 +194,12 @@ DiscreteVerifyResult discrete_explore(
     // Chokes firable now?
     if (auto it = chokes_at.find(cfg.state.value()); it != chokes_at.end()) {
       for (const ChokeRecord* c : it->second) {
+        const std::uint64_t key = next_key();
         if (age_of(c->event) >= ts.delay(c->event).lo()) {
-          result.violated = true;
-          result.description = "refusal: output '" + ts.label(c->event) +
-                               "' not accepted (containment violation)";
-          return finish(result);
+          report_violation(key,
+                           "refusal: output '" + ts.label(c->event) +
+                               "' not accepted (containment violation)",
+                           item.handle, ts.label(c->event));
         }
       }
     }
@@ -174,10 +217,11 @@ DiscreteVerifyResult discrete_explore(
       if (can_delay && !clocked.empty()) {
         Config next = cfg;
         for (std::size_t i = 0; i < clocked.size(); ++i) {
-          const Time cap = saturation(clocked[i]);
-          if (next.ages[i] < cap) ++next.ages[i];
+          const Time cap_i = saturation(clocked[i]);
+          if (next.ages[i] < cap_i) ++next.ages[i];
         }
-        push(std::move(next));
+        try_push(std::move(next), item.handle, EventId::invalid(), next_key(),
+                 worker);
       }
     }
 
@@ -186,11 +230,9 @@ DiscreteVerifyResult discrete_explore(
       if (age_of(t.event) < ts.delay(t.event).lo()) continue;
       const std::vector<EventId> succ_enabled = ts.enabled_events(t.target);
       for (const SafetyProperty* p : properties) {
-        if (auto v = p->check_event(ctx, t.event, t.target, succ_enabled)) {
-          result.violated = true;
-          result.description = *v;
-          return finish(result);
-        }
+        const std::uint64_t key = next_key();
+        if (auto v = p->check_event(ctx, t.event, t.target, succ_enabled))
+          report_violation(key, *v, item.handle, ts.label(t.event));
       }
       const std::vector<EventId> succ_clocked = pseudo_enabled(t.target);
       Config next;
@@ -205,10 +247,115 @@ DiscreteVerifyResult discrete_explore(
               cfg.ages[static_cast<std::size_t>(it - clocked.begin())];
         }
       }
-      push(std::move(next));
+      try_push(std::move(next), item.handle, t.event, next_key(), worker);
     }
+  };
+
+  WorkStealingRanges ranges;
+  const auto process = [&](std::size_t worker) {
+    while (const auto chunk = ranges.next(worker)) {
+      if (stop_flag.load(std::memory_order_relaxed)) return;
+      for (std::size_t i = chunk->begin; i != chunk->end; ++i) {
+        if (worker == 0) {
+          // Deadline, cancellation and progress all live in the RunClock,
+          // which is not thread-safe: only worker 0 polls it, the others
+          // observe the stop flag at chunk boundaries.
+          if (const char* reason = clock.tick(interner.size())) {
+            stop_flag.store(reason, std::memory_order_relaxed);
+            return;
+          }
+        }
+        process_state(i, frontier[i], worker);
+      }
+    }
+  };
+
+  /// Unwind the parent chain into the firing-label trace (delay ticks have
+  /// no label and are skipped, matching the zone engine's traces).
+  const auto unwind_labels = [&](ShardHandle leaf) {
+    std::vector<std::string> out;
+    for (ShardHandle cur = leaf; cur.valid();) {
+      const ConfigMeta& meta = interner.value(cur);
+      if (meta.via.valid()) out.push_back(ts.label(meta.via));
+      cur = meta.parent;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+  };
+
+  const auto finish = [&](DiscreteVerifyResult r) {
+    r.states_explored = interner.size();
+    r.discrete_states = discrete_count;
+    r.seconds = clock.seconds();
+    return r;
+  };
+
+  const auto merge = [&]() -> bool {
+    // Gather this layer's discoveries; their order keys are final now, so
+    // sorting yields the sequential BFS queue order.
+    std::vector<std::pair<std::uint64_t, FrontierItem>> gathered;
+    for (auto& per_worker : discovered) {
+      for (auto& [handle, cfg] : per_worker) {
+        gathered.emplace_back(interner.value(handle).order_key,
+                              FrontierItem{handle, std::move(cfg)});
+      }
+      per_worker.clear();
+    }
+    std::sort(gathered.begin(), gathered.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [key, item] : gathered) {
+      if (!discrete_seen[item.cfg.state.value()]) {
+        discrete_seen[item.cfg.state.value()] = true;
+        ++discrete_count;
+      }
+    }
+
+    if (best) {
+      result.violated = true;
+      result.description = best->description;
+      result.trace_labels = unwind_labels(best->leaf);
+      if (!best->extra.empty()) result.trace_labels.push_back(best->extra);
+      return false;
+    }
+    if (const char* reason = stop_flag.load(std::memory_order_relaxed)) {
+      result.truncated = true;
+      result.truncated_reason = reason;
+      RTV_WARN << "discrete exploration stopped: " << reason;
+      return false;
+    }
+    if (interner.budget_hit()) {
+      result.truncated = true;
+      result.truncated_reason = stop_reason::kStateBudget;
+      RTV_WARN << "discrete exploration truncated at " << interner.size();
+      return false;
+    }
+
+    frontier.clear();
+    frontier.reserve(gathered.size());
+    for (auto& [key, item] : gathered) frontier.push_back(std::move(item));
+    ++current_layer;
+    if (frontier.empty()) return false;
+    ranges.reset(frontier.size(), frontier_chunk_size(frontier.size(), jobs),
+                 jobs);
+    return true;
+  };
+
+  // Seed layer 0 with the initial config.
+  {
+    Config init;
+    init.state = ts.initial();
+    init.ages.assign(pseudo_enabled(init.state).size(), 0);
+    const auto res = interner.insert(
+        init, [&] { return ConfigMeta{ShardHandle{}, EventId::invalid(), 0, 0}; },
+        [](ConfigMeta&) {});
+    discrete_seen[init.state.value()] = true;
+    ++discrete_count;
+    frontier.push_back(FrontierItem{res.handle, std::move(init)});
+    ranges.reset(frontier.size(), frontier_chunk_size(frontier.size(), jobs),
+                 jobs);
   }
 
+  LayeredRunner(jobs).run(process, merge);
   return finish(result);
 }
 
@@ -227,6 +374,7 @@ DiscreteVerifyResult discrete_verify(
   ComposeOptions copts;
   copts.track_chokes = options.track_chokes;
   copts.max_states = options.max_states;
+  copts.jobs = options.jobs;
   copts.stop = [&clock](std::size_t states) { return clock.tick(states); };
   const Composition comp = compose(modules, copts);
   if (comp.truncated) {

@@ -84,6 +84,7 @@ ZoneVerifyResult zone_explore(const TransitionSystem& ts,
     return out;
   };
 
+  bool budget_hit = false;
   auto add_node = [&](ZoneNode node) -> std::optional<std::size_t> {
     // Subsumption against stored zones of the same discrete state.
     auto& bucket = stored[node.state.value()];
@@ -91,6 +92,13 @@ ZoneVerifyResult zone_explore(const TransitionSystem& ts,
       const ZoneNode& other = nodes[idx];
       if (other.clocks == node.clocks && node.zone.subset_of(other.zone))
         return std::nullopt;
+    }
+    // The zone budget is an insertion-time ceiling: a zone beyond the cap
+    // is rejected outright (the initial zone is always admitted), so the
+    // store never overshoots max_zones by a frontier layer.
+    if (!nodes.empty() && nodes.size() >= options.max_zones) {
+      budget_hit = true;
+      return std::nullopt;
     }
     nodes.push_back(std::move(node));
     const std::size_t id = nodes.size() - 1;
@@ -121,7 +129,7 @@ ZoneVerifyResult zone_explore(const TransitionSystem& ts,
   };
 
   while (!queue.empty()) {
-    if (nodes.size() > options.max_zones) {
+    if (budget_hit) {
       result.truncated = true;
       result.truncated_reason = stop_reason::kStateBudget;
       RTV_WARN << "zone exploration truncated at " << nodes.size();
@@ -249,6 +257,7 @@ ZoneVerifyResult zone_verify(const std::vector<const Module*>& modules,
   ComposeOptions copts;
   copts.track_chokes = options.track_chokes;
   copts.max_states = options.max_zones;
+  copts.jobs = options.jobs;
   copts.stop = [&clock](std::size_t states) { return clock.tick(states); };
   const Composition comp = compose(modules, copts);
   if (comp.truncated) {

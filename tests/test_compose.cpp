@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "rtv/ts/gallery.hpp"
 
 namespace rtv {
@@ -149,6 +152,46 @@ TEST(Compose, TruncationFlag) {
   opts.max_states = 2;
   const Composition c = compose({&a, &b}, opts);
   EXPECT_TRUE(c.truncated);
+}
+
+TEST(Compose, StateBudgetIsAHardCeiling) {
+  // The cap is enforced at insertion: a truncated composition never holds
+  // more states than the budget (it used to overshoot by a frontier layer,
+  // since the check only ran at pop time).
+  const Module a = toggler("a", EventKind::kOutput, DelayInterval::units(1, 2));
+  const Module b = toggler("b", EventKind::kOutput, DelayInterval::units(1, 2));
+  const Module c = toggler("c", EventKind::kOutput, DelayInterval::units(1, 2));
+  ComposeOptions opts;
+  opts.max_states = 3;  // the full product has 8 states
+  const Composition comp = compose({&a, &b, &c}, opts);
+  EXPECT_TRUE(comp.truncated);
+  EXPECT_LE(comp.ts.num_states(), 3u);
+}
+
+TEST(Compose, ContradictoryDelayBoundsFailLoudly) {
+  // Two modules declaring disjoint bounds for the same label used to
+  // produce a silently-empty intersection (lo > hi), leaving the event
+  // forever unfireable.  compose() must refuse the system instead, naming
+  // the label and the offending modules.
+  const Module p = toggler("x", EventKind::kOutput, DelayInterval::units(1, 2));
+  TransitionSystem lts;
+  const StateId l0 = lts.add_state();
+  const StateId l1 = lts.add_state();
+  lts.add_transition(
+      l0, lts.add_event("x+", DelayInterval::units(5, 9), EventKind::kInput),
+      l1);
+  lts.set_initial(l0);
+  const Module listener("late-listener", std::move(lts));
+
+  try {
+    compose({&p, &listener});
+    FAIL() << "compose accepted an empty delay intersection";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("x+"), std::string::npos) << what;
+    EXPECT_NE(what.find("x-toggler"), std::string::npos) << what;
+    EXPECT_NE(what.find("late-listener"), std::string::npos) << what;
+  }
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "rtv/base/rng.hpp"
 #include "rtv/ts/gallery.hpp"
 #include "rtv/zone/zone_graph.hpp"
@@ -26,6 +28,27 @@ TEST(Discrete, BrokenDelaysViolate) {
   const Module mon = gallery::order_monitor("g", "d");
   const InvariantProperty bad("g before d", {{"fail", true}});
   EXPECT_TRUE(discrete_verify({&sys, &mon}, {&bad}).violated);
+}
+
+TEST(Discrete, ViolationCarriesCounterexampleTrace) {
+  // Regression: the engine used to report VIOLATED with no trace at all —
+  // DiscreteVerifyResult had no trace field and every violation path
+  // returned bare finish(result).  The counterexample must name the event
+  // sequence, ending with the premature 'd'.
+  TransitionSystem ts = gallery::intro_example().ts();
+  ts.set_event_delay(ts.event_by_label("g"), DelayInterval::units(10, 20));
+  ts.set_event_delay(ts.event_by_label("d"), DelayInterval::units(0, 1));
+  const Module sys("broken", std::move(ts));
+  const Module mon = gallery::order_monitor("g", "d");
+  const InvariantProperty bad("g before d", {{"fail", true}});
+  const DiscreteVerifyResult r = discrete_verify({&sys, &mon}, {&bad});
+  ASSERT_TRUE(r.violated);
+  ASSERT_FALSE(r.trace_labels.empty());
+  // The monitor's fail state is entered by firing d before g.
+  EXPECT_NE(std::find(r.trace_labels.begin(), r.trace_labels.end(), "d"),
+            r.trace_labels.end());
+  EXPECT_EQ(std::find(r.trace_labels.begin(), r.trace_labels.end(), "g"),
+            r.trace_labels.end());
 }
 
 TEST(Discrete, StateCountScalesWithConstants) {
@@ -101,6 +124,9 @@ TEST(Discrete, ChokeDetection) {
   const DiscreteVerifyResult r = discrete_verify({&producer, &once}, {});
   EXPECT_TRUE(r.violated);
   EXPECT_NE(r.description.find("refusal"), std::string::npos);
+  // The trace ends with the refused output.
+  ASSERT_FALSE(r.trace_labels.empty());
+  EXPECT_EQ(r.trace_labels.back(), "x+");
 }
 
 TEST(Discrete, RefusesConstantsBeyondTheAgeRange) {

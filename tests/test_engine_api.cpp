@@ -210,7 +210,7 @@ TEST(EngineResultApi, ViolationCarriesTraceLabels) {
   req.properties = {&bad};
   // The exact engines unwind a concrete timed trace; refine reports the
   // counterexample firing sequence.
-  for (const char* name : {"refine", "zone"}) {
+  for (const char* name : {"refine", "zone", "discrete"}) {
     const EngineResult r = engine(name)->run(req);
     ASSERT_EQ(r.verdict, Verdict::kViolated) << name;
     EXPECT_FALSE(r.trace_labels.empty()) << name;

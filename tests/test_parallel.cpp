@@ -1,0 +1,319 @@
+// Parallel-exploration parity (rtv/base/parallel.hpp + the sharded BFS in
+// compose() and discrete_explore()):
+//
+//   * compose() is bit-identical across job counts — state numbering,
+//     transitions, valuations, chokes;
+//   * discrete_verify() produces identical verdicts, state counts and
+//     counterexample traces at jobs=1 and jobs=4 on randomized gallery
+//     systems, and every parallel counterexample replays through the
+//     sequential composition;
+//   * the state budget is a hard insertion-time ceiling even when N
+//     workers insert concurrently;
+//   * the substrate primitives (WorkStealingRanges, ShardedInterner)
+//     hand out every item exactly once / retain every key exactly once.
+#include "rtv/base/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "rtv/base/rng.hpp"
+#include "rtv/ts/compose.hpp"
+#include "rtv/ts/gallery.hpp"
+#include "rtv/verify/engine.hpp"
+#include "rtv/verify/property.hpp"
+#include "rtv/verify/suite.hpp"
+#include "rtv/zone/discrete.hpp"
+
+namespace rtv {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Substrate primitives
+// ---------------------------------------------------------------------------
+
+TEST(WorkStealingRanges, EveryChunkHandedOutExactlyOnce) {
+  constexpr std::size_t kItems = 10'000, kChunk = 7, kWorkers = 4;
+  WorkStealingRanges ranges;
+  ranges.reset(kItems, kChunk, kWorkers);
+
+  std::vector<std::atomic<int>> claimed(kItems);
+  std::vector<std::thread> pool;
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    pool.emplace_back([&, w] {
+      while (const auto chunk = ranges.next(w)) {
+        for (std::size_t i = chunk->begin; i != chunk->end; ++i)
+          claimed[i].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  for (std::size_t i = 0; i < kItems; ++i)
+    ASSERT_EQ(claimed[i].load(), 1) << "item " << i;
+}
+
+TEST(ShardedInterner, ConcurrentInsertsRetainEveryKeyOnceWithinBudget) {
+  constexpr std::size_t kKeys = 5'000, kWorkers = 4;
+  ShardedInterner<int, int> interner(/*max_size=*/kKeys, /*shards=*/64);
+  std::vector<std::thread> pool;
+  std::atomic<std::size_t> inserted{0};
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    pool.emplace_back([&] {
+      for (int k = 0; k < static_cast<int>(kKeys); ++k) {
+        const auto r = interner.insert(
+            k, [&] { return k * 2; }, [](int&) {});
+        if (r.inserted) inserted.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_EQ(inserted.load(), kKeys);  // each key won by exactly one thread
+  EXPECT_EQ(interner.size(), kKeys);
+  EXPECT_FALSE(interner.budget_hit());
+}
+
+TEST(ShardedInterner, BudgetIsAHardCeiling) {
+  ShardedInterner<int, int> interner(/*max_size=*/10, /*shards=*/8);
+  for (int k = 0; k < 100; ++k)
+    interner.insert(k, [] { return 0; }, [](int&) {});
+  EXPECT_EQ(interner.size(), 10u);
+  EXPECT_TRUE(interner.budget_hit());
+}
+
+TEST(LayeredRunner, MergeExceptionReleasesWorkersAndRethrows) {
+  // A merge()-phase throw must wind the pool down through the shutdown
+  // handshake (not std::terminate on joinable workers) and resurface on
+  // the calling thread.
+  LayeredRunner runner(4);
+  std::atomic<int> layers{0};
+  EXPECT_THROW(runner.run([](std::size_t) {},
+                          [&]() -> bool {
+                            if (layers.fetch_add(1) == 2)
+                              throw std::runtime_error("merge failed");
+                            return true;
+                          }),
+               std::runtime_error);
+  EXPECT_EQ(layers.load(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Gallery systems for the randomized parity sweep
+// ---------------------------------------------------------------------------
+
+DelayInterval random_delay(Rng& rng) {
+  const Time lo = static_cast<Time>(rng.below(4)) * kTicksPerUnit;
+  const Time hi = lo + static_cast<Time>(1 + rng.below(3)) * kTicksPerUnit;
+  return DelayInterval(lo, hi);
+}
+
+/// Walk `labels` through the composed system.  All labels must be real
+/// transitions, except that the final one may be a refusal (a choke has no
+/// composed transition) — `refusal` says whether the violation was one.
+void expect_replayable(const Composition& comp,
+                       const std::vector<std::string>& labels, bool refusal) {
+  StateId cur = comp.ts.initial();
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const EventId e = comp.ts.event_by_label(labels[i]);
+    ASSERT_TRUE(e.valid()) << "unknown label " << labels[i];
+    const auto succ = comp.ts.successor(cur, e);
+    if (!succ) {
+      EXPECT_TRUE(refusal && i + 1 == labels.size())
+          << "trace breaks at step " << i << " (" << labels[i] << ")";
+      return;
+    }
+    cur = *succ;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// compose() parity: bit-identical output for every job count
+// ---------------------------------------------------------------------------
+
+TEST(ParallelCompose, OutputIsIdenticalAcrossJobCounts) {
+  for (int seed = 0; seed < 10; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed) * 6364136223846793005ull + 7);
+    const Module race = gallery::scaled_race(2 + static_cast<int>(rng.below(6)));
+    const Module diamond =
+        gallery::diamond("x", random_delay(rng), "y", random_delay(rng));
+    const Module mon = gallery::order_monitor("a", "c");
+
+    ComposeOptions seq, par;
+    seq.track_chokes = par.track_chokes = true;
+    seq.jobs = 1;
+    par.jobs = 4;
+    const Composition a = compose({&race, &diamond, &mon}, seq);
+    const Composition b = compose({&race, &diamond, &mon}, par);
+
+    ASSERT_EQ(a.ts.num_states(), b.ts.num_states()) << "seed " << seed;
+    ASSERT_EQ(a.ts.num_transitions(), b.ts.num_transitions()) << "seed " << seed;
+    ASSERT_EQ(a.component_states, b.component_states) << "seed " << seed;
+    ASSERT_EQ(a.chokes.size(), b.chokes.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < a.chokes.size(); ++i) {
+      EXPECT_EQ(a.chokes[i].state, b.chokes[i].state);
+      EXPECT_EQ(a.chokes[i].event, b.chokes[i].event);
+    }
+    for (std::size_t s = 0; s < a.ts.num_states(); ++s) {
+      const StateId id(static_cast<std::uint32_t>(s));
+      const auto ta = a.ts.transitions_from(id);
+      const auto tb = b.ts.transitions_from(id);
+      ASSERT_EQ(ta.size(), tb.size()) << "state " << s;
+      for (std::size_t k = 0; k < ta.size(); ++k) {
+        EXPECT_EQ(ta[k].event, tb[k].event);
+        EXPECT_EQ(ta[k].target, tb[k].target);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// discrete_verify() parity: verdicts, counts and traces
+// ---------------------------------------------------------------------------
+
+TEST(ParallelDiscrete, RandomizedGallerySystemsAgreeAcrossJobCounts) {
+  constexpr std::size_t kBudget = 500'000;
+  for (int seed = 0; seed < 20; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed) * 2654435761u + 12345);
+    const Module m =
+        gallery::diamond("x", random_delay(rng), "y", random_delay(rng));
+    const Module mon = gallery::order_monitor("x", "y");
+    const InvariantProperty bad("x first", {{"fail", true}});
+
+    DiscreteVerifyOptions one, four;
+    one.jobs = 1;
+    four.jobs = 4;
+    one.max_states = four.max_states = kBudget;
+    const DiscreteVerifyResult a = discrete_verify({&m, &mon}, {&bad}, one);
+    const DiscreteVerifyResult b = discrete_verify({&m, &mon}, {&bad}, four);
+
+    EXPECT_EQ(a.violated, b.violated) << "seed " << seed;
+    EXPECT_EQ(a.truncated, b.truncated) << "seed " << seed;
+    EXPECT_EQ(a.states_explored, b.states_explored) << "seed " << seed;
+    EXPECT_LE(a.states_explored, kBudget);
+    EXPECT_EQ(a.trace_labels, b.trace_labels) << "seed " << seed;
+    if (a.violated) {
+      EXPECT_FALSE(b.trace_labels.empty()) << "seed " << seed;
+      const bool refusal =
+          a.description.find("refusal") != std::string::npos;
+      ComposeOptions copts;
+      copts.track_chokes = true;
+      const Composition comp = compose({&m, &mon}, copts);
+      expect_replayable(comp, b.trace_labels, refusal);
+    }
+  }
+}
+
+TEST(ParallelDiscrete, ChokeCounterexampleReplaysUpToTheRefusal) {
+  // Producer pulses x; a one-shot listener refuses the second pulse.  The
+  // refused label ends the trace and has no composed transition.
+  TransitionSystem pts;
+  const StateId p0 = pts.add_state();
+  const StateId p1 = pts.add_state();
+  pts.add_transition(
+      p0, pts.add_event("x+", DelayInterval::units(1, 2), EventKind::kOutput),
+      p1);
+  pts.add_transition(
+      p1, pts.add_event("x-", DelayInterval::units(1, 2), EventKind::kOutput),
+      p0);
+  pts.set_initial(p0);
+  const Module producer("p", std::move(pts));
+
+  TransitionSystem lts;
+  const StateId l0 = lts.add_state();
+  const StateId l1 = lts.add_state();
+  const StateId l2 = lts.add_state();
+  lts.add_transition(
+      l0, lts.add_event("x+", DelayInterval::unbounded(), EventKind::kInput),
+      l1);
+  lts.add_transition(
+      l1, lts.add_event("x-", DelayInterval::unbounded(), EventKind::kInput),
+      l2);
+  lts.set_initial(l0);
+  const Module once("once", std::move(lts));
+
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+    DiscreteVerifyOptions opts;
+    opts.jobs = jobs;
+    const DiscreteVerifyResult r = discrete_verify({&producer, &once}, {}, opts);
+    ASSERT_TRUE(r.violated) << jobs << " jobs";
+    ASSERT_FALSE(r.trace_labels.empty()) << jobs << " jobs";
+    EXPECT_EQ(r.trace_labels.back(), "x+");
+    ComposeOptions copts;
+    copts.track_chokes = true;
+    expect_replayable(compose({&producer, &once}, copts), r.trace_labels,
+                      /*refusal=*/true);
+  }
+}
+
+TEST(ParallelDiscrete, StateBudgetIsAHardCeilingUnderConcurrency) {
+  // scaled_race(64) has tens of thousands of digitized configs; a 1000
+  // config budget must truncate without a single config of overshoot even
+  // with four workers inserting concurrently.
+  const Module sys = gallery::scaled_race(64);
+  DiscreteVerifyOptions opts;
+  opts.jobs = 4;
+  opts.max_states = 1000;
+  // Explore the pre-built composition so the compose budget (tested
+  // elsewhere) does not trip first.
+  ComposeOptions copts;
+  copts.track_chokes = true;
+  const Composition comp = compose({&sys}, copts);
+  const DiscreteVerifyResult r =
+      discrete_explore(comp.ts, {}, comp.chokes, opts);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_EQ(r.truncated_reason, stop_reason::kStateBudget);
+  EXPECT_LE(r.states_explored, 1000u);
+  EXPECT_EQ(r.verdict(), Verdict::kInconclusive);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: EngineRequest::jobs and the suite's global worker budget
+// ---------------------------------------------------------------------------
+
+TEST(ParallelEngine, DiscreteEngineHonoursJobsAndAgrees) {
+  const Module sys = gallery::scaled_race(16);
+  const Module mon = gallery::order_monitor("a", "c");
+  const InvariantProperty bad("a before c", {{"fail", true}});
+  const Engine* discrete = engine_registry().find("discrete");
+  ASSERT_NE(discrete, nullptr);
+
+  EngineRequest req;
+  req.modules = {&sys, &mon};
+  req.properties = {&bad};
+  req.jobs = 1;
+  const EngineResult a = discrete->run(req);
+  req.jobs = 4;
+  const EngineResult b = discrete->run(req);
+
+  EXPECT_EQ(a.verdict, b.verdict);
+  EXPECT_EQ(a.verdict, Verdict::kViolated);  // c can fire with a at 2k
+  EXPECT_EQ(a.states_explored, b.states_explored);
+  EXPECT_EQ(a.trace_labels, b.trace_labels);
+  EXPECT_FALSE(b.trace_labels.empty());
+}
+
+TEST(ParallelSuite, GlobalJobsBudgetCoversIntraObligationWorkers) {
+  // One obligation, four workers: the scheduler runs one obligation-level
+  // worker and hands the surplus to the engine as intra-obligation jobs.
+  Suite suite;
+  const Module* sys = suite.own(gallery::scaled_race(8));
+  const Module* mon = suite.own(gallery::order_monitor("a", "c"));
+  const SafetyProperty* bad = suite.own(std::make_unique<InvariantProperty>(
+      "a before c", std::vector<InvariantProperty::Literal>{{"fail", true}}));
+  suite.add("race", {sys, mon}, {bad});
+
+  SuiteOptions opts;
+  opts.jobs = 4;
+  opts.engines = {"discrete"};
+  const SuiteReport report = run_suite(suite, opts);
+  ASSERT_EQ(report.records.size(), 1u);
+  EXPECT_EQ(report.jobs, 1u);  // one task -> one obligation-level worker
+  EXPECT_EQ(report.records[0].result.verdict, Verdict::kViolated);
+  EXPECT_FALSE(report.records[0].result.trace_labels.empty());
+}
+
+}  // namespace
+}  // namespace rtv

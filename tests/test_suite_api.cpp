@@ -90,6 +90,45 @@ TEST(SuiteApi, UnknownEngineThrows) {
   EXPECT_THROW(run_suite(per_ob), std::invalid_argument);
 }
 
+TEST(SuiteBatch, EngineThrowIsRecordedNotFatal) {
+  // compose() rejects contradictory delay bounds with std::invalid_argument;
+  // raised on a pool thread, an uncaught engine throw would escape the
+  // std::thread entry and terminate the whole batch.  The suite must record
+  // the error against the one bad obligation and still finish the others.
+  auto pulse = [](const std::string& name, Time lo, Time hi, EventKind kind) {
+    TransitionSystem ts;
+    const StateId s0 = ts.add_state();
+    const StateId s1 = ts.add_state();
+    ts.add_transition(s0, ts.add_event("x+", DelayInterval::units(lo, hi), kind),
+                      s1);
+    ts.set_initial(s0);
+    return Module(name, std::move(ts));
+  };
+
+  Suite suite;
+  add_intro_obligation(suite, "good");
+  const Module* early = suite.own(pulse("early", 1, 2, EventKind::kOutput));
+  const Module* late = suite.own(pulse("late", 5, 9, EventKind::kInput));
+  const SafetyProperty* dead = suite.own(std::make_unique<DeadlockFreedom>());
+  suite.add("contradictory", {early, late}, {dead});
+
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+    SuiteOptions opts;
+    opts.jobs = jobs;
+    const SuiteReport report = run_suite(suite, opts);
+    ASSERT_EQ(report.records.size(), 2u) << "jobs=" << jobs;
+    EXPECT_EQ(report.verdict_of("good"), Verdict::kVerified);
+    const SuiteRecord* bad = nullptr;
+    for (const SuiteRecord& rec : report.records)
+      if (rec.obligation == "contradictory") bad = &rec;
+    ASSERT_NE(bad, nullptr);
+    EXPECT_EQ(bad->result.verdict, Verdict::kInconclusive);
+    EXPECT_EQ(bad->result.truncated_reason, stop_reason::kEngineError);
+    EXPECT_NE(bad->result.message.find("x+"), std::string::npos)
+        << bad->result.message;
+  }
+}
+
 TEST(SuiteApi, EmptySuiteIsVacuouslyVerified) {
   const SuiteReport report = run_suite(Suite{});
   EXPECT_TRUE(report.records.empty());

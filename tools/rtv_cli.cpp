@@ -1,8 +1,10 @@
 // rtv — command-line front end.
 //
-//   rtv verify    a.g b.g ...  [--engine NAME] [--timeout S] [--max-states N]
-//                              [--no-deadlock] [--no-persistency] [--max-ref N]
-//                              [--progress]
+//   rtv verify    a.g b.g ...  [--engine NAME] [--jobs N] [--timeout S]
+//                              [--max-states N] [--no-deadlock]
+//                              [--no-persistency] [--max-ref N] [--progress]
+//                              (--jobs shards the engine's own frontier;
+//                              0 = one worker per hardware thread)
 //   rtv suite     a.g b.g ...  [--engine NAME[,NAME...]] [--jobs N] [--json F]
 //                              (each file is one obligation; batch-parallel)
 //   rtv portfolio a.g b.g ...  [--engines NAME,NAME] [--jobs N] [--json F]
@@ -53,9 +55,9 @@ int usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  rtv verify    <stg.g>... [--engine NAME] [--timeout S] [--max-states N]\n"
-      "                           [--no-deadlock] [--no-persistency] [--max-ref N]\n"
-      "                           [--progress]\n"
+      "  rtv verify    <stg.g>... [--engine NAME] [--jobs N] [--timeout S]\n"
+      "                           [--max-states N] [--no-deadlock]\n"
+      "                           [--no-persistency] [--max-ref N] [--progress]\n"
       "  rtv suite     <stg.g>... [--engine NAME[,NAME...]] [--jobs N] [--json FILE]\n"
       "                           [--timeout S] [--max-states N] [--no-deadlock]\n"
       "                           [--no-persistency] [--max-ref N] [--progress]\n"
@@ -243,6 +245,7 @@ int cmd_verify(const std::vector<std::string>& files,
   req.budget.max_states = cli.max_states;
   req.budget.max_seconds = cli.timeout_seconds;
   req.max_refinements = cli.max_ref;
+  req.jobs = cli.jobs;  // 0 (the default) = one worker per hardware thread
   if (cli.progress) req.progress = progress_printer();
 
   const EngineResult r = engine->run(req);
