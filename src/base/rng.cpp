@@ -61,4 +61,11 @@ Time Rng::sample_delay(const DelayInterval& d, Time unbounded_span) {
   return range(d.lo(), hi);
 }
 
+std::uint64_t Rng::mix(std::uint64_t seed, std::uint64_t stream) {
+  std::uint64_t x = seed;
+  const std::uint64_t a = splitmix64(x);
+  x ^= 0xd1342543de82ef95ULL * (stream + 0x632be59bd9b4e019ULL);
+  return splitmix64(x) ^ rotl(a, 23);
+}
+
 }  // namespace rtv

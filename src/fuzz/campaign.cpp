@@ -1,0 +1,285 @@
+#include "rtv/fuzz/campaign.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "rtv/base/json.hpp"
+#include "rtv/ts/compose.hpp"
+#include "rtv/verify/suite.hpp"
+
+namespace rtv::fuzz {
+
+namespace {
+
+/// Walk a counterexample trace through the sequential composition.  Every
+/// label must exist and have a composed transition, except the final one,
+/// which may be a refusal (choke counterexamples end on the refused
+/// output).  Returns false with a description of the first broken step.
+bool replays(const Composition& comp, const std::vector<std::string>& labels,
+             std::string& why) {
+  StateId cur = comp.ts.initial();
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const EventId e = comp.ts.event_by_label(labels[i]);
+    if (!e.valid()) {
+      why = "trace step " + std::to_string(i) + " names unknown label '" +
+            labels[i] + "'";
+      return false;
+    }
+    const auto succ = comp.ts.successor(cur, e);
+    if (!succ) {
+      if (i + 1 == labels.size()) return true;  // final refused label
+      why = "trace breaks at step " + std::to_string(i) + " ('" + labels[i] +
+            "' has no composed transition)";
+      return false;
+    }
+    cur = *succ;
+  }
+  return true;
+}
+
+std::string join_trace(const std::vector<std::string>& labels) {
+  std::string out;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i];
+  }
+  return out;
+}
+
+void append_verdicts(std::string& out,
+                     const std::vector<EngineVerdict>& verdicts) {
+  out += "[";
+  for (std::size_t i = 0; i < verdicts.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "{\"engine\":";
+    json::append_string(out, verdicts[i].engine);
+    out += ",\"verdict\":";
+    json::append_string(out, to_string(verdicts[i].verdict));
+    out += ",\"stop_reason\":";
+    json::append_string(out, verdicts[i].stop_reason);
+    out += "}";
+  }
+  out += "]";
+}
+
+void append_failure(std::string& out, const CampaignFailure& f) {
+  out += "{\"kind\":";
+  json::append_string(out, to_string(f.kind));
+  out += ",\"case\":" + std::to_string(f.case_index);
+  out += ",\"seed\":\"" + std::to_string(f.seed) + "\"";
+  out += ",\"config\":" + f.config.to_json();
+  out += ",\"minimized\":" + f.minimized.to_json();
+  out += ",\"verdicts\":";
+  append_verdicts(out, f.verdicts);
+  out += ",\"detail\":";
+  json::append_string(out, f.detail);
+  out += "}";
+}
+
+}  // namespace
+
+const char* to_string(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kDisagreement: return "disagreement";
+    case FailureKind::kBadTrace: return "bad-trace";
+    case FailureKind::kEngineError: return "engine-error";
+  }
+  return "?";
+}
+
+CaseResult run_case(std::uint64_t seed, const GeneratorConfig& config,
+                    const CampaignOptions& options) {
+  CaseResult out;
+  const Scenario sc = generate(seed, config);
+
+  Suite suite;
+  suite.add(sc.name, sc.module_ptrs(), sc.property_ptrs());
+  SuiteOptions sopt;
+  sopt.mode = SuiteMode::kBatch;
+  sopt.jobs = options.jobs;
+  sopt.engines = options.engines;
+  sopt.budget.max_states = options.max_states;
+  sopt.budget.max_seconds = options.max_seconds;
+  const SuiteReport report = run_suite(suite, sopt);
+
+  std::vector<EngineVerdict> verdicts;
+  const SuiteRecord* verified = nullptr;
+  const SuiteRecord* violated = nullptr;
+  const SuiteRecord* errored = nullptr;
+  for (const SuiteRecord& rec : report.records) {
+    verdicts.push_back(
+        {rec.engine, rec.result.verdict, rec.result.truncated_reason});
+    if (rec.result.truncated_reason == stop_reason::kEngineError && !errored)
+      errored = &rec;
+    if (rec.result.verified()) {
+      ++out.definitive;
+      if (!verified) verified = &rec;
+    } else if (rec.result.violated()) {
+      ++out.definitive;
+      if (!violated) violated = &rec;
+    }
+  }
+
+  const auto fail = [&](FailureKind kind, std::string detail) {
+    CampaignFailure f;
+    f.kind = kind;
+    f.seed = seed;
+    f.config = config;
+    f.minimized = sanitized(config);
+    f.verdicts = verdicts;
+    f.detail = sc.describe() + ": " + std::move(detail);
+    out.failure = std::move(f);
+  };
+
+  if (errored) {
+    fail(FailureKind::kEngineError,
+         errored->engine + " raised: " + errored->result.message);
+    return out;
+  }
+  if (verified && violated) {
+    fail(FailureKind::kDisagreement,
+         "engines disagree (" + verified->engine + "=verified vs " +
+             violated->engine + "=violated)");
+    return out;
+  }
+
+  // Re-validate every violation trace against the sequential composition —
+  // the cross-check test_parallel applies to the discrete engine, promoted
+  // to a campaign-wide invariant.
+  if (violated) {
+    Composition comp;
+    try {
+      ComposeOptions copt;
+      copt.track_chokes = true;
+      copt.jobs = 1;
+      comp = compose(sc.module_ptrs(), copt);
+    } catch (const std::exception& e) {
+      fail(FailureKind::kEngineError,
+           std::string("compose() raised during replay: ") + e.what());
+      return out;
+    }
+    if (!comp.truncated) {
+      for (const SuiteRecord& rec : report.records) {
+        if (!rec.result.violated() || rec.result.trace_labels.empty()) continue;
+        std::string why;
+        if (replays(comp, rec.result.trace_labels, why)) {
+          ++out.traces_replayed;
+        } else {
+          fail(FailureKind::kBadTrace,
+               rec.engine + " counterexample is not replayable: " + why +
+                   " (trace: " + join_trace(rec.result.trace_labels) + ")");
+          return out;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+CampaignReport run_campaign(const CampaignOptions& options) {
+  if (options.cases == 0 && options.seconds <= 0)
+    throw std::invalid_argument(
+        "fuzz campaign needs a case limit or a time limit");
+
+  CampaignReport report;
+  report.seed = options.seed;
+  report.config = options.config;
+  report.engines = options.engines;
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  for (std::size_t i = 0; options.cases == 0 || i < options.cases; ++i) {
+    if (options.seconds > 0 && elapsed() >= options.seconds) break;
+    const std::uint64_t cs = case_seed(options.seed, i);
+    CaseResult r = run_case(cs, options.config, options);
+    ++report.cases;
+    report.definitive_verdicts += r.definitive;
+    report.traces_replayed += r.traces_replayed;
+    if (!r.failure) continue;
+
+    CampaignFailure f = std::move(*r.failure);
+    f.case_index = i;
+    if (options.log)
+      options.log("case " + std::to_string(i) + " (seed " +
+                  std::to_string(cs) + "): " + to_string(f.kind) + " — " +
+                  f.detail);
+    if (options.minimize) {
+      const FailureKind kind = f.kind;
+      const FailureOracle oracle = [&](std::uint64_t s,
+                                       const GeneratorConfig& cfg) {
+        CampaignOptions probe = options;
+        probe.log = nullptr;
+        probe.minimize = false;
+        const CaseResult pr = run_case(s, cfg, probe);
+        return pr.failure && pr.failure->kind == kind;
+      };
+      const MinimizeResult m =
+          minimize(cs, f.config, oracle, options.minimize_budget);
+      f.minimized = m.config;
+      if (options.log && m.steps > 0)
+        options.log("  minimized in " + std::to_string(m.steps) +
+                    " step(s) to " + m.config.to_json());
+    }
+    report.failures.push_back(std::move(f));
+  }
+  report.wall_seconds = elapsed();
+  return report;
+}
+
+std::string CampaignReport::to_json() const {
+  std::string out = "{\"schema\":\"";
+  out += kSchemaName;
+  out += "\",\"version\":" + std::to_string(kSchemaVersion);
+  out += ",\"seed\":\"" + std::to_string(seed) + "\"";
+  out += ",\"config\":" + config.to_json();
+  out += ",\"engines\":[";
+  for (std::size_t i = 0; i < engines.size(); ++i) {
+    if (i > 0) out += ",";
+    json::append_string(out, engines[i]);
+  }
+  out += "],\"cases\":" + std::to_string(cases);
+  out += ",\"definitive_verdicts\":" + std::to_string(definitive_verdicts);
+  out += ",\"traces_replayed\":" + std::to_string(traces_replayed);
+  out += ",\"wall_seconds\":";
+  json::append_double(out, wall_seconds);
+  out += ",\"ok\":";
+  out += ok() ? "true" : "false";
+  out += ",\"failures\":[";
+  for (std::size_t i = 0; i < failures.size(); ++i) {
+    if (i > 0) out += ",";
+    append_failure(out, failures[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string CampaignReport::fingerprint() const {
+  std::string out = "rtv-fuzz-report v" + std::to_string(kSchemaVersion);
+  out += " seed=" + std::to_string(seed);
+  out += " config=" + config.to_json();
+  out += " engines=";
+  for (std::size_t i = 0; i < engines.size(); ++i) {
+    if (i > 0) out += ",";
+    out += engines[i];
+  }
+  out += " cases=" + std::to_string(cases);
+  out += " definitive=" + std::to_string(definitive_verdicts);
+  out += " replayed=" + std::to_string(traces_replayed);
+  for (const CampaignFailure& f : failures) {
+    out += "\nfailure kind=" + std::string(to_string(f.kind));
+    out += " case=" + std::to_string(f.case_index);
+    out += " seed=" + std::to_string(f.seed);
+    out += " minimized=" + f.minimized.to_json();
+    out += " verdicts=";
+    append_verdicts(out, f.verdicts);
+  }
+  return out;
+}
+
+}  // namespace rtv::fuzz

@@ -1,0 +1,65 @@
+#include "rtv/fuzz/minimize.hpp"
+
+#include <vector>
+
+namespace rtv::fuzz {
+
+namespace {
+
+/// Shrink proposals for one round, biggest structural cuts first.  Each
+/// proposal mutates a single dimension of `c`; the driver filters out any
+/// that fail to decrease config_size() after sanitization.
+std::vector<GeneratorConfig> proposals(const GeneratorConfig& c) {
+  std::vector<GeneratorConfig> out;
+  const auto with = [&](auto mutate) {
+    GeneratorConfig p = c;
+    mutate(p);
+    out.push_back(p);
+  };
+  if (c.modules > 1) with([&](GeneratorConfig& p) { p.modules = c.modules / 2; });
+  if (c.events > 1) with([&](GeneratorConfig& p) { p.events = c.events / 2; });
+  if (c.properties > 0) with([&](GeneratorConfig& p) { p.properties = 0; });
+  if (c.max_delay > 1) with([&](GeneratorConfig& p) { p.max_delay = 1; });
+  if (!c.point_delays) with([&](GeneratorConfig& p) { p.point_delays = true; });
+  if (c.unbounded_p > 0) with([&](GeneratorConfig& p) { p.unbounded_p = 0; });
+  if (c.share_p > 0) with([&](GeneratorConfig& p) { p.share_p = 0; });
+  if (c.gates) with([&](GeneratorConfig& p) { p.gates = false; });
+  if (c.deadlock_check)
+    with([&](GeneratorConfig& p) { p.deadlock_check = false; });
+  if (c.persistency_check)
+    with([&](GeneratorConfig& p) { p.persistency_check = false; });
+  if (c.properties > 1)
+    with([&](GeneratorConfig& p) { p.properties = c.properties - 1; });
+  if (c.max_delay > 2)
+    with([&](GeneratorConfig& p) { p.max_delay = c.max_delay / 2; });
+  if (c.modules > 1)
+    with([&](GeneratorConfig& p) { p.modules = c.modules - 1; });
+  if (c.events > 1) with([&](GeneratorConfig& p) { p.events = c.events - 1; });
+  return out;
+}
+
+}  // namespace
+
+MinimizeResult minimize(std::uint64_t seed, const GeneratorConfig& start,
+                        const FailureOracle& oracle, std::size_t max_tests) {
+  MinimizeResult r;
+  r.config = sanitized(start);
+  bool progressed = true;
+  while (progressed && r.tested < max_tests) {
+    progressed = false;
+    for (const GeneratorConfig& raw : proposals(r.config)) {
+      const GeneratorConfig candidate = sanitized(raw);
+      if (config_size(candidate) >= config_size(r.config)) continue;
+      if (r.tested >= max_tests) break;
+      ++r.tested;
+      if (!oracle(seed, candidate)) continue;
+      r.config = candidate;
+      ++r.steps;
+      progressed = true;  // restart the scan from the shrunk config
+      break;
+    }
+  }
+  return r;
+}
+
+}  // namespace rtv::fuzz

@@ -1,0 +1,59 @@
+// Minimal JSON support shared by the machine-readable report writers and
+// parsers (suite reports, fuzz campaign reports, generator configs).
+//
+// The writer side is a handful of append helpers; the reader side is a
+// strict recursive-descent parser for exactly the grammar the writers emit
+// (objects, arrays, strings with escapes, numbers, booleans, null), so a
+// corrupted document fails loudly instead of round-tripping garbage.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rtv::json {
+
+// ---- emission --------------------------------------------------------------
+
+/// Append `s` with JSON escaping (no surrounding quotes).
+void escape_into(std::string& out, std::string_view s);
+
+/// Append `s` as a quoted, escaped JSON string.
+void append_string(std::string& out, std::string_view s);
+
+/// Append a double with 17 significant digits: every finite double
+/// round-trips exactly.
+void append_double(std::string& out, double v);
+
+// ---- parsing ---------------------------------------------------------------
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  /// First member with this key, or null (objects only).
+  const Value* find(std::string_view key) const {
+    for (const auto& [k, v] : object)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+/// Parse one JSON document.  `context` prefixes every error message
+/// (e.g. "suite report JSON"); throws std::runtime_error on malformed
+/// input or trailing characters.
+Value parse(const std::string& text, std::string_view context);
+
+/// Fetch a required object member of the given kind; throws
+/// std::runtime_error naming `context`, the key and `what` when the member
+/// is missing or mistyped.
+const Value& require(const Value& obj, std::string_view key, Value::Kind kind,
+                     const char* what, std::string_view context);
+
+}  // namespace rtv::json

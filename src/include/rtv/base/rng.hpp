@@ -33,6 +33,12 @@ class Rng {
   /// clamped to lo + `unbounded_span` ticks so simulation always progresses.
   Time sample_delay(const DelayInterval& d, Time unbounded_span = 10 * kTicksPerUnit);
 
+  /// Derive the seed of stream `stream` within the seed space of `seed`
+  /// (splitmix64-based): neighbouring streams are statistically
+  /// independent.  The fuzz campaign keys case i off mix(campaign_seed, i)
+  /// so any case replays without rerunning its predecessors.
+  static std::uint64_t mix(std::uint64_t seed, std::uint64_t stream);
+
  private:
   std::uint64_t s_[4];
 };

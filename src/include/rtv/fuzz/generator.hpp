@@ -1,0 +1,123 @@
+// Seeded random scenario generation for differential fuzzing.
+//
+// A scenario is a complete verification obligation — system modules,
+// ordering monitors and safety properties — grown from a 64-bit seed and a
+// GeneratorConfig.  Generation is fully deterministic: the same (seed,
+// config) pair always yields byte-identical systems, so any campaign
+// finding is reproducible from those two values alone (the shape the
+// delta-debugging minimizer serializes, see rtv/fuzz/minimize.hpp).
+//
+// The generator grows the gallery's hand-built shapes (rtv/ts/gallery.hpp)
+// into five parameterized families — chains, rings, interleaving grids,
+// conflicts and fork-join "gates" — composed over randomly shared labels
+// with per-label delay bounds, in the spirit of Csmith-style differential
+// compiler fuzzing: generate well-formed inputs, use engine agreement as
+// the oracle.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rtv/base/interval.hpp"
+#include "rtv/ts/module.hpp"
+#include "rtv/verify/property.hpp"
+
+namespace rtv::fuzz {
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Size/shape knobs of one scenario family.  Every field is a shrinkable
+/// dimension for the minimizer; keep them ordered from "most structure" to
+/// "least" so config_size() reads naturally.
+struct GeneratorConfig {
+  /// System modules composed over shared labels (monitors come on top).
+  std::uint32_t modules = 2;
+  /// Budget of step events per module (each shape draws 1..events).
+  std::uint32_t events = 4;
+  /// Magnitude cap for delay constants, in ticks.  Sampling is
+  /// log-uniform, so one system mixes small and large constants (the
+  /// mixed-magnitude workload the 64-bit discrete ages unlock).
+  Time max_delay = 16;
+  /// Random ordering properties ("a before b" monitors).
+  std::uint32_t properties = 1;
+  /// Probability that a delay keeps an unbounded upper bound.
+  double unbounded_p = 0.1;
+  /// Probability that a module reuses (synchronises on) a label of an
+  /// earlier module instead of minting a fresh one.
+  double share_p = 0.3;
+  /// Collapse every interval to a point delay [lo, lo] (a minimizer move:
+  /// point delays remove all timing slack from a reproducer).
+  bool point_delays = false;
+  /// Allow the fork-join "gates" shape (concurrent inputs joined by one
+  /// output, a C-element in the inertial-delay model).
+  bool gates = true;
+  /// Also check DeadlockFreedom / PersistencyProperty on every scenario.
+  bool deadlock_check = false;
+  bool persistency_check = false;
+
+  /// Stable JSON round-trip (campaign reports embed configs; `rtv fuzz`
+  /// replays them).  See docs/FUZZING.md for the schema.
+  std::string to_json() const;
+  static GeneratorConfig from_json(const std::string& json);
+
+  friend bool operator==(const GeneratorConfig& a, const GeneratorConfig& b);
+};
+
+/// Shrink metric for the minimizer: strictly decreasing along every
+/// accepted delta-debugging step.
+std::size_t config_size(const GeneratorConfig& config);
+
+/// The seed of campaign case `index`: splitmix-derived so neighbouring
+/// cases are statistically independent, and stable so one case replays
+/// without rerunning the campaign.
+std::uint64_t case_seed(std::uint64_t campaign_seed, std::size_t index);
+
+// ---------------------------------------------------------------------------
+// Scenarios
+// ---------------------------------------------------------------------------
+
+/// Structural family of one generated system module.
+enum class ModuleShape {
+  kChain,     ///< linear event chain, idle self-loop at the end (acyclic)
+  kRing,      ///< cyclic event ring (always live)
+  kGrid,      ///< two independent chains interleaving (acyclic)
+  kConflict,  ///< x/y choice where y disables x (persistency stake)
+  kForkJoin,  ///< concurrent a, b joined by c, cyclic ("gates")
+};
+
+const char* to_string(ModuleShape shape);
+
+/// One generated obligation with owned storage.  modules[0..system_modules)
+/// are the system; the rest are ordering monitors referencing system labels.
+struct Scenario {
+  std::uint64_t seed = 0;
+  GeneratorConfig config;
+  std::string name;
+  std::deque<Module> modules;
+  std::size_t system_modules = 0;
+  /// Shape of each system module, parallel to modules[0..system_modules).
+  std::vector<ModuleShape> shapes;
+  std::vector<std::unique_ptr<SafetyProperty>> properties;
+
+  std::vector<const Module*> module_ptrs() const;
+  std::vector<const SafetyProperty*> property_ptrs() const;
+
+  /// Human-readable shape summary for failure logs ("m0_ring(4ev) || ...").
+  std::string describe() const;
+};
+
+/// Generate the scenario of (seed, config).  Deterministic and total:
+/// every config yields a well-formed scenario (invalid field values are
+/// clamped to their minimums, see sanitized()).
+Scenario generate(std::uint64_t seed, const GeneratorConfig& config);
+
+/// The config actually used by generate(): sizes clamped to >= 1 (0
+/// properties stays 0), probabilities to [0, 1].
+GeneratorConfig sanitized(const GeneratorConfig& config);
+
+}  // namespace rtv::fuzz

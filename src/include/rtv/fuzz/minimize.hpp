@@ -1,0 +1,43 @@
+// Delta-debugging minimizer for differential-fuzzing failures.
+//
+// Rather than shrinking a concrete system — which would need its own
+// serialization and well-formedness repair — the minimizer shrinks the
+// (seed, config) pair the generator is deterministic over: propose a
+// structurally smaller config (fewer modules/events/properties, delay cap
+// tightened, sharing or gates switched off, intervals collapsed to
+// points), regenerate from the *same* seed, and keep the proposal iff the
+// failure oracle still fires.  Every accepted step strictly decreases
+// config_size(), so minimization is monotone and terminates; the result is
+// a minimal reproducer serializable as seed + config JSON.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "rtv/fuzz/generator.hpp"
+
+namespace rtv::fuzz {
+
+/// True when generate(seed, config) still exhibits the failure under
+/// investigation (a verdict disagreement, a non-replayable trace, ...).
+using FailureOracle =
+    std::function<bool(std::uint64_t seed, const GeneratorConfig& config)>;
+
+struct MinimizeResult {
+  /// Smallest failing config found (sanitized); reproduce with
+  /// generate(seed, config).
+  GeneratorConfig config;
+  std::size_t tested = 0;  ///< oracle invocations spent
+  std::size_t steps = 0;   ///< accepted shrink steps
+};
+
+/// Greedy delta debugging over the config dimensions.  `start` is assumed
+/// to fail (it is returned unshrunk when nothing smaller fails).  Proposals
+/// are tried largest-cut-first — halve module/event counts, zero the
+/// probabilities, drop flags — then by single decrements, restarting after
+/// every accepted step; `max_tests` caps total oracle invocations.
+MinimizeResult minimize(std::uint64_t seed, const GeneratorConfig& start,
+                        const FailureOracle& oracle,
+                        std::size_t max_tests = 256);
+
+}  // namespace rtv::fuzz

@@ -10,7 +10,15 @@
 //   * for each pending occurrence at a firing step: the firing cannot
 //     happen later than the pending event's deadline (enabling + upper
 //     bound) — the inertial-delay urgency that makes traces like
-//     Fig. 13(a) infeasible.
+//     Fig. 13(a) infeasible.  Events whose firing self-loops on the
+//     current state are exempt when their upper bound is positive: they can
+//     fire (and re-arm) any number of times without perturbing the trace,
+//     pushing the deadline forward indefinitely — an untimed search that
+//     skips revisited states can't spell those firings out, and charging
+//     their urgency against longer traces would (unsoundly) ban reachable
+//     failures.  A zero-deadline self-loop is NOT exempt: re-arming never
+//     advances its deadline, so it pins time at its enabling instant and
+//     genuinely blocks any later firing.
 //
 // When a trace is infeasible, the negative cycle of the system localises a
 // *ban window* [anchor..last]: a contiguous slice of the trace that is
@@ -26,10 +34,12 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "rtv/timing/difference_constraints.hpp"
+#include "rtv/ts/compose.hpp"
 #include "rtv/ts/trace.hpp"
 
 namespace rtv {
@@ -75,8 +85,17 @@ class TraceTimingModel {
   /// `virtual_final`: an event treated as fired from the trace's final
   /// state as an extra last point (used for refused/choked events that have
   /// no transition in the composed graph).
+  ///
+  /// `chokes`: the composition's refusal records.  A choked output has no
+  /// composed transition, so it is invisible in the trace's enabled sets —
+  /// but the producer's clock is still running.  The model treats choked
+  /// events as enabled at their choke states, anchoring a refused firing
+  /// at its true enabling point instead of at the refusal itself (without
+  /// this, exact delay bounds start too late and feasible refusals are
+  /// judged impossible — an unsound "verified").
   TraceTimingModel(const TransitionSystem& ts, const Trace& trace,
-                   EventId virtual_final = EventId::invalid());
+                   EventId virtual_final = EventId::invalid(),
+                   std::span<const ChokeRecord> chokes = {});
 
   int num_points() const { return n_points_; }
   EventId fired(int point) const;
@@ -109,10 +128,20 @@ class TraceTimingModel {
   std::vector<DerivedOrdering> explain(const BanWindow& win) const;
 
  private:
+  /// True iff `event` is enabled at `state` in the producer sense: a
+  /// composed transition exists, or the event is choked there.
+  bool enabled_or_choked(StateId state, EventId event) const;
+
   const TransitionSystem& ts_;
   const Trace& trace_;
   EventId virtual_final_;
   int n_points_;
+  /// (state, event) choke pairs, sorted for binary search.
+  std::vector<std::pair<StateId::underlying_type, EventId::underlying_type>>
+      choked_;
+  /// Per-point enabled sets augmented with the state's choked events
+  /// (sorted); empty when no augmentation was needed at that point.
+  std::vector<std::vector<EventId>> augmented_;
   /// Reverse adjacency (built lazily): predecessor (state, event) pairs.
   mutable std::vector<std::vector<std::pair<StateId, EventId>>> preds_;
   mutable bool preds_built_ = false;

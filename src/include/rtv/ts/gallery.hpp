@@ -27,6 +27,17 @@ Module order_monitor(const std::string& first, const std::string& then,
 /// A linear chain s0 -e1-> s1 -e2-> ... useful in unit tests.
 Module chain(const std::vector<std::pair<std::string, DelayInterval>>& events);
 
+/// A cyclic ring s0 -e1-> s1 -e2-> ... -en-> s0: the smallest always-live
+/// shape (the fuzz generator's repeating-producer family).
+Module ring(const std::vector<std::pair<std::string, DelayInterval>>& events);
+
+/// Fork-join: `a` and `b` concurrent from the initial state, `c` enabled
+/// once both have fired, looping back to the start — a C-element in the
+/// inertial-delay model (the fuzz generator's gate-level family).
+Module fork_join(const std::string& a, DelayInterval a_delay,
+                 const std::string& b, DelayInterval b_delay,
+                 const std::string& c, DelayInterval c_delay);
+
 /// Two concurrent events x [x_delay] and y [y_delay] in a diamond.
 Module diamond(const std::string& x, DelayInterval x_delay,
                const std::string& y, DelayInterval y_delay);

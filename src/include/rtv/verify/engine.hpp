@@ -107,8 +107,10 @@ inline constexpr const char* kComposeBudget =
 /// Refinement engine only: the iteration cap was reached.
 inline constexpr const char* kRefinementBudget =
     "refinement budget exhausted";
-/// Discrete engine only: a delay bound exceeds the digitized 16-bit age
-/// range, so integer-age exploration cannot represent the system.
+/// Historical (discrete engine): emitted while digitized ages were 16-bit
+/// and delay bounds past 65535 ticks had to be refused.  Ages are 64-bit
+/// now, so the built-in engines no longer emit it; the constant stays so
+/// stored reports keep parsing and custom backends can reuse it.
 inline constexpr const char* kDigitizationRange =
     "timing constants exceed the digitized age range";
 /// The engine threw instead of returning a result (e.g. compose() rejects

@@ -9,9 +9,11 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "rtv/ts/compose.hpp"
 #include "rtv/ts/trace.hpp"
 
 namespace rtv {
@@ -27,9 +29,12 @@ struct TimedWitness {
 };
 
 /// Concrete schedule for a timing-consistent trace; nullopt if the trace is
-/// inconsistent (then there is nothing to witness).
-std::optional<TimedWitness> make_witness(const TransitionSystem& ts,
-                                         const Trace& trace,
-                                         EventId virtual_final = EventId::invalid());
+/// inconsistent (then there is nothing to witness).  Pass the composition's
+/// choke records when the trace ends in a refused output so the refusal is
+/// anchored at its true enabling point (see rtv/timing/trace_timing.hpp).
+std::optional<TimedWitness> make_witness(
+    const TransitionSystem& ts, const Trace& trace,
+    EventId virtual_final = EventId::invalid(),
+    std::span<const ChokeRecord> chokes = {});
 
 }  // namespace rtv

@@ -167,7 +167,13 @@ bool RefinedSystem::blocked_by_age(const RefinedState& s, EventId e) const {
     Time lower = 0;
     if (w != e_wave) {
       const std::uint16_t ub = s.gaps[w * n + e_wave];  // t(w) - t(e_wave) <= ub
-      lower = (ub == kGapInf) ? -cap_ : -decode_gap(ub);
+      // Extrapolated ("unbounded") gaps carry no lower bound on
+      // t(e_wave) - t(w).  Substituting -cap_ here would be unsound for
+      // events whose *lower* bound exceeds the cap (cap_ only covers the
+      // finite upper bounds): the true gap may be anywhere above cap_,
+      // and the run where x fires late is exactly the failure.
+      if (ub == kGapInf) continue;
+      lower = -decode_gap(ub);
     }
     if (lower + lo > dx.hi()) return true;
   }

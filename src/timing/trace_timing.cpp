@@ -14,9 +14,44 @@ bool contains(const std::vector<EventId>& sorted, EventId e) {
 }  // namespace
 
 TraceTimingModel::TraceTimingModel(const TransitionSystem& ts, const Trace& trace,
-                                   EventId virtual_final)
+                                   EventId virtual_final,
+                                   std::span<const ChokeRecord> chokes)
     : ts_(ts), trace_(trace), virtual_final_(virtual_final) {
   n_points_ = static_cast<int>(trace.steps.size()) + (virtual_final.valid() ? 1 : 0);
+
+  choked_.reserve(chokes.size());
+  for (const ChokeRecord& c : chokes)
+    choked_.emplace_back(c.state.value(), c.event.value());
+  std::sort(choked_.begin(), choked_.end());
+
+  // Augment each point's enabled set with the events choked at its state:
+  // a refused output is still ticking in its producer even though the
+  // composed graph has no transition for it.
+  if (!choked_.empty()) {
+    augmented_.resize(static_cast<std::size_t>(n_points_));
+    for (int k = 0; k < n_points_; ++k) {
+      const StateId s = state_at(k);
+      const auto lo = std::lower_bound(
+          choked_.begin(), choked_.end(),
+          std::make_pair(s.value(), EventId::underlying_type{0}));
+      std::vector<EventId> extra;
+      for (auto it = lo; it != choked_.end() && it->first == s.value(); ++it) {
+        const EventId e(it->second);
+        if (!contains(enabled_at(k), e)) extra.push_back(e);
+      }
+      if (extra.empty()) continue;
+      std::vector<EventId> merged = enabled_at(k);
+      merged.insert(merged.end(), extra.begin(), extra.end());
+      std::sort(merged.begin(), merged.end());
+      augmented_[static_cast<std::size_t>(k)] = std::move(merged);
+    }
+  }
+}
+
+bool TraceTimingModel::enabled_or_choked(StateId state, EventId event) const {
+  if (ts_.is_enabled(state, event)) return true;
+  return std::binary_search(choked_.begin(), choked_.end(),
+                            std::make_pair(state.value(), event.value()));
 }
 
 EventId TraceTimingModel::fired(int point) const {
@@ -32,6 +67,8 @@ StateId TraceTimingModel::state_at(int point) const {
 }
 
 const std::vector<EventId>& TraceTimingModel::enabled_at(int point) const {
+  if (!augmented_.empty() && !augmented_[static_cast<std::size_t>(point)].empty())
+    return augmented_[static_cast<std::size_t>(point)];
   if (point < static_cast<int>(trace_.steps.size()))
     return trace_.steps[static_cast<std::size_t>(point)].enabled;
   return trace_.final_enabled;
@@ -62,7 +99,7 @@ bool TraceTimingModel::freshly_enabled_at(StateId state, EventId event) const {
   }
   for (const auto& [from, via] : preds_[state.value()]) {
     if (via == event) continue;  // the firing itself re-enables it freshly
-    if (ts_.is_enabled(from, event)) return false;
+    if (enabled_or_choked(from, event)) return false;
   }
   return true;
 }
@@ -114,11 +151,18 @@ BuiltTraceSystem TraceTimingModel::build_system(int win_start, int win_last,
               tag_of({TraceConstraintInfo::Kind::kFiringUpper, k, win_start, e}));
     }
 
-    // Deadlines of events pending while this firing happens.
+    // Deadlines of events pending while this firing happens.  A pending
+    // event whose firing self-loops on the current state imposes nothing:
+    // it can fire and re-arm freely between trace points (the untimed
+    // search interns states, so those firings never appear as steps).
     for (EventId x : enabled_at(k)) {
       if (x == e) continue;
       const DelayInterval dx = ts_.delay(x);
       if (!dx.upper_bounded()) continue;
+      if (dx.hi() > 0) {
+        const std::optional<StateId> self = ts_.successor(state_at(k), x);
+        if (self && *self == state_at(k)) continue;
+      }
       const int mx = enabling_point(x, k);
       const int anchor = mx >= win_start ? mx : win_start;
       sys.add(k + 1, anchor, dx.hi(),

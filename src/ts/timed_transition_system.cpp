@@ -73,6 +73,39 @@ Module chain(const std::vector<std::pair<std::string, DelayInterval>>& events) {
   return Module("chain", std::move(ts));
 }
 
+Module ring(const std::vector<std::pair<std::string, DelayInterval>>& events) {
+  TransitionSystem ts;
+  assert(!events.empty());
+  std::vector<StateId> states;
+  for (std::size_t i = 0; i < events.size(); ++i)
+    states.push_back(ts.add_state("r" + std::to_string(i)));
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const EventId e =
+        ts.add_event(events[i].first, events[i].second, EventKind::kInternal);
+    ts.add_transition(states[i], e, states[(i + 1) % events.size()]);
+  }
+  ts.set_initial(states[0]);
+  return Module("ring", std::move(ts));
+}
+
+Module fork_join(const std::string& a, DelayInterval a_delay,
+                 const std::string& b, DelayInterval b_delay,
+                 const std::string& c, DelayInterval c_delay) {
+  TransitionSystem ts;
+  const EventId ea = ts.add_event(a, a_delay, EventKind::kInternal);
+  const EventId eb = ts.add_event(b, b_delay, EventKind::kInternal);
+  const EventId ec = ts.add_event(c, c_delay, EventKind::kInternal);
+  StateId s[2][2];
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 2; ++j)
+      s[i][j] = ts.add_state("f" + std::to_string(i) + std::to_string(j));
+  for (int j = 0; j < 2; ++j) ts.add_transition(s[0][j], ea, s[1][j]);
+  for (int i = 0; i < 2; ++i) ts.add_transition(s[i][0], eb, s[i][1]);
+  ts.add_transition(s[1][1], ec, s[0][0]);
+  ts.set_initial(s[0][0]);
+  return Module("fork_join", std::move(ts));
+}
+
 Module diamond(const std::string& x, DelayInterval x_delay,
                const std::string& y, DelayInterval y_delay) {
   TransitionSystem ts;

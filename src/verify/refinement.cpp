@@ -78,7 +78,8 @@ VerificationResult verify_modules(
       break;
     }
 
-    const TraceTimingModel model(comp.ts, failure->trace, failure->virtual_event);
+    const TraceTimingModel model(comp.ts, failure->trace, failure->virtual_event,
+                                 comp.chokes);
     if (model.consistent()) {
       result.verdict = Verdict::kViolated;
       result.counterexample = failure->trace;

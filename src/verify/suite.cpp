@@ -11,6 +11,7 @@
 #include <thread>
 #include <utility>
 
+#include "rtv/base/json.hpp"
 #include "rtv/base/parallel.hpp"
 
 namespace rtv {
@@ -296,53 +297,13 @@ Verdict SuiteReport::overall() const {
 }
 
 // ---------------------------------------------------------------------------
-// JSON writer
+// JSON writer (emission helpers shared via rtv/base/json.hpp)
 // ---------------------------------------------------------------------------
 
 namespace {
 
-void json_escape_into(std::string& out, std::string_view s) {
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-}
-
-void append_string(std::string& out, std::string_view s) {
-  out += '"';
-  json_escape_into(out, s);
-  out += '"';
-}
-
-void append_double(std::string& out, double v) {
-  // 17 significant digits: every finite double round-trips exactly.
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  out += buf;
-}
+using json::append_double;
+using json::append_string;
 
 }  // namespace
 
@@ -389,233 +350,18 @@ std::string SuiteReport::to_json() const {
 }
 
 // ---------------------------------------------------------------------------
-// JSON parser — the minimal grammar the writer emits (objects, arrays,
-// strings with escapes, numbers, booleans, null), strict about structure so
-// a corrupted report fails loudly instead of round-tripping garbage.
+// JSON parser — shared grammar support lives in rtv/base/json.hpp; this
+// file only maps the parsed document back onto a SuiteReport, staying
+// strict about structure so a corrupted report fails loudly.
 // ---------------------------------------------------------------------------
 
 namespace {
 
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;
+constexpr std::string_view kJsonContext = "suite report JSON";
 
-  const JsonValue* find(std::string_view key) const {
-    for (const auto& [k, v] : object)
-      if (k == key) return &v;
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  JsonValue parse() {
-    JsonValue v = parse_value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing characters after document");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error("suite report JSON, offset " +
-                             std::to_string(pos_) + ": " + what);
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])))
-      ++pos_;
-  }
-
-  char peek() {
-    skip_ws();
-    if (pos_ >= text_.size()) fail("unexpected end of document");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  bool consume_literal(std::string_view lit) {
-    if (text_.compare(pos_, lit.size(), lit) != 0) return false;
-    pos_ += lit.size();
-    return true;
-  }
-
-  JsonValue parse_value() {
-    const char c = peek();
-    if (c == '{') return parse_object();
-    if (c == '[') return parse_array();
-    if (c == '"') {
-      JsonValue v;
-      v.kind = JsonValue::Kind::kString;
-      v.string = parse_string();
-      return v;
-    }
-    JsonValue v;
-    if (consume_literal("true")) {
-      v.kind = JsonValue::Kind::kBool;
-      v.boolean = true;
-      return v;
-    }
-    if (consume_literal("false")) {
-      v.kind = JsonValue::Kind::kBool;
-      return v;
-    }
-    if (consume_literal("null")) return v;
-    return parse_number();
-  }
-
-  JsonValue parse_object() {
-    expect('{');
-    JsonValue v;
-    v.kind = JsonValue::Kind::kObject;
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      if (peek() != '"') fail("expected object key");
-      std::string key = parse_string();
-      expect(':');
-      v.object.emplace_back(std::move(key), parse_value());
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  JsonValue parse_array() {
-    expect('[');
-    JsonValue v;
-    v.kind = JsonValue::Kind::kArray;
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      v.array.push_back(parse_value());
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return v;
-    }
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) break;
-      const char esc = text_[pos_++];
-      switch (esc) {
-        case '"':
-        case '\\':
-        case '/':
-          out += esc;
-          break;
-        case 'n':
-          out += '\n';
-          break;
-        case 'r':
-          out += '\r';
-          break;
-        case 't':
-          out += '\t';
-          break;
-        case 'b':
-          out += '\b';
-          break;
-        case 'f':
-          out += '\f';
-          break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9')
-              code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f')
-              code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F')
-              code |= static_cast<unsigned>(h - 'A' + 10);
-            else
-              fail("bad hex digit in \\u escape");
-          }
-          // The writer only emits \u00XX for control characters; decode
-          // the Latin-1 range as UTF-8 and reject the rest.
-          if (code < 0x80) {
-            out += static_cast<char>(code);
-          } else if (code < 0x800) {
-            out += static_cast<char>(0xc0 | (code >> 6));
-            out += static_cast<char>(0x80 | (code & 0x3f));
-          } else {
-            out += static_cast<char>(0xe0 | (code >> 12));
-            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
-            out += static_cast<char>(0x80 | (code & 0x3f));
-          }
-          break;
-        }
-        default:
-          fail("unknown escape");
-      }
-    }
-    fail("unterminated string");
-  }
-
-  JsonValue parse_number() {
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E'))
-      ++pos_;
-    if (pos_ == start) fail("expected a value");
-    JsonValue v;
-    v.kind = JsonValue::Kind::kNumber;
-    try {
-      v.number = std::stod(text_.substr(start, pos_ - start));
-    } catch (const std::exception&) {
-      fail("malformed number");
-    }
-    return v;
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
-
-const JsonValue& require(const JsonValue& obj, std::string_view key,
-                         JsonValue::Kind kind, const char* what) {
-  const JsonValue* v = obj.find(key);
-  if (!v || v->kind != kind)
-    throw std::runtime_error(std::string("suite report JSON: missing or "
-                                         "mistyped field '") +
-                             std::string(key) + "' (" + what + ")");
-  return *v;
+const json::Value& require(const json::Value& obj, std::string_view key,
+                           json::Value::Kind kind, const char* what) {
+  return json::require(obj, key, kind, what, kJsonContext);
 }
 
 Verdict verdict_from_string(const std::string& s) {
@@ -628,11 +374,11 @@ Verdict verdict_from_string(const std::string& s) {
 }  // namespace
 
 SuiteReport parse_suite_report(const std::string& json) {
-  const JsonValue root = JsonParser(json).parse();
-  if (root.kind != JsonValue::Kind::kObject)
+  const json::Value root = json::parse(json, kJsonContext);
+  if (root.kind != json::Value::Kind::kObject)
     throw std::runtime_error("suite report JSON: root is not an object");
 
-  using Kind = JsonValue::Kind;
+  using Kind = json::Value::Kind;
   if (require(root, "schema", Kind::kString, "schema tag").string !=
       SuiteReport::kSchemaName)
     throw std::runtime_error("suite report JSON: wrong schema tag");
@@ -656,7 +402,7 @@ SuiteReport parse_suite_report(const std::string& json) {
   report.wall_seconds =
       require(root, "wall_seconds", Kind::kNumber, "wall seconds").number;
 
-  for (const JsonValue& rec :
+  for (const json::Value& rec :
        require(root, "records", Kind::kArray, "records").array) {
     if (rec.kind != Kind::kObject)
       throw std::runtime_error("suite report JSON: record is not an object");
@@ -677,7 +423,7 @@ SuiteReport parse_suite_report(const std::string& json) {
     out.winner = require(rec, "winner", Kind::kBool, "winner flag").boolean;
     out.result.message =
         require(rec, "message", Kind::kString, "message").string;
-    for (const JsonValue& label :
+    for (const json::Value& label :
          require(rec, "trace", Kind::kArray, "trace labels").array) {
       if (label.kind != Kind::kString)
         throw std::runtime_error(

@@ -17,7 +17,13 @@ namespace {
 
 struct Config {
   StateId state;
-  std::vector<std::uint16_t> ages;  ///< parallel to the clocked-event list
+  /// Integer clock ages, parallel to the clocked-event list.  Full 64-bit
+  /// Time range: every representable delay bound (up to kTimeInfinity)
+  /// digitizes without wrapping, so large mixed-magnitude constants are
+  /// limited only by the state budget, not by the age representation.
+  /// (Ages were 16-bit once; constants past 65535 ticks had to be refused
+  /// with stop_reason::kDigitizationRange.)
+  std::vector<Time> ages;
 
   friend bool operator==(const Config& a, const Config& b) {
     return a.state == b.state && a.ages == b.ages;
@@ -27,9 +33,8 @@ struct Config {
 struct ConfigHash {
   std::size_t operator()(const Config& c) const noexcept {
     std::size_t h = std::hash<StateId>()(c.state);
-    for (std::uint16_t a : c.ages)
-      h ^= std::hash<std::uint16_t>()(a) + 0x9e3779b97f4a7c15ull + (h << 6) +
-           (h >> 2);
+    for (const Time a : c.ages)
+      h ^= std::hash<Time>()(a) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
     return h;
   }
 };
@@ -74,23 +79,6 @@ DiscreteVerifyResult discrete_explore(
                        options.progress_interval);
   RunClock& clock = options.clock ? *options.clock : local_clock;
   DiscreteVerifyResult result;
-
-  // Ages are 16-bit (Config::ages); a delay bound beyond their range
-  // would silently wrap, leaving the event forever unfireable and the
-  // verdict wrong.  Digitization over such constants is out of this
-  // engine's range: refuse with kInconclusive instead of guessing.
-  for (std::size_t e = 0; e < ts.num_events(); ++e) {
-    const DelayInterval d = ts.delay(EventId(static_cast<std::uint32_t>(e)));
-    const Time cap = d.upper_bounded() ? d.hi() : d.lo();
-    if (cap > static_cast<Time>(std::numeric_limits<std::uint16_t>::max())) {
-      result.truncated = true;
-      result.truncated_reason = stop_reason::kDigitizationRange;
-      result.seconds = clock.seconds();
-      RTV_WARN << "discrete engine: delay bound " << cap
-               << " ticks exceeds the 16-bit age range; refusing";
-      return result;
-    }
-  }
 
   std::unordered_map<StateId::underlying_type, std::vector<const ChokeRecord*>>
       chokes_at;

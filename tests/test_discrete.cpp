@@ -129,10 +129,11 @@ TEST(Discrete, ChokeDetection) {
   EXPECT_EQ(r.trace_labels.back(), "x+");
 }
 
-TEST(Discrete, RefusesConstantsBeyondTheAgeRange) {
-  // Ages are 16-bit; before the guard a delay bound past 65535 ticks
-  // silently wrapped, the event never fired, and a genuinely violated
-  // system came back VERIFIED.  The engine must refuse instead.
+TEST(Discrete, VerifiesConstantsBeyondTheOld16BitAgeRange) {
+  // Regression, inverted twice: with 16-bit ages a delay bound past 65535
+  // ticks first silently wrapped (the event never fired and a violated
+  // system came back VERIFIED), then was refused with kDigitizationRange.
+  // 64-bit ages represent every Time, so the same obligation now verifies.
   TransitionSystem ts;
   const StateId s0 = ts.add_state();
   const StateId s1 = ts.add_state();
@@ -142,10 +143,63 @@ TEST(Discrete, RefusesConstantsBeyondTheAgeRange) {
   ts.set_initial(s0);
   const Module m("overflow", std::move(ts));
   const DiscreteVerifyResult r = discrete_verify({&m}, {});
-  EXPECT_EQ(r.verdict(), Verdict::kInconclusive);
-  EXPECT_TRUE(r.truncated);
-  EXPECT_EQ(r.truncated_reason, stop_reason::kDigitizationRange);
+  EXPECT_EQ(r.verdict(), Verdict::kVerified);
+  EXPECT_FALSE(r.truncated);
+  EXPECT_GT(r.states_explored, 65536u);  // the ages really counted past 2^16
 }
+
+// ---------------------------------------------------------------------------
+// 64-bit age boundary table — banked from the fuzzing campaign's widened
+// constant range.  Each case puts a slow [T,T]-tick event in a race with a
+// fast [1,2]-tick one: "slow before fast" is genuinely violated (maximal
+// progress forces fast by tick 2), "fast before slow" genuinely holds and
+// requires ages to count all the way to T without wrapping.
+// ---------------------------------------------------------------------------
+
+struct AgeBoundaryCase {
+  const char* name;
+  Time slow_ticks;       ///< exact delay of the slow event, in ticks
+  bool check_verified;   ///< also prove the cheap direction + zone parity
+};
+
+class DiscreteAgeBoundary : public ::testing::TestWithParam<AgeBoundaryCase> {};
+
+TEST_P(DiscreteAgeBoundary, LargeConstantsDecideInsteadOfRefusing) {
+  const AgeBoundaryCase& c = GetParam();
+  const Module m =
+      gallery::diamond("slow", DelayInterval(c.slow_ticks, c.slow_ticks),
+                       "fast", DelayInterval(1, 2));
+
+  const Module mon_bad = gallery::order_monitor("slow", "fast");
+  const InvariantProperty bad("slow first", {{"fail", true}});
+  const DiscreteVerifyResult viol = discrete_verify({&m, &mon_bad}, {&bad});
+  EXPECT_TRUE(viol.violated) << c.name;
+  EXPECT_NE(viol.truncated_reason, stop_reason::kDigitizationRange) << c.name;
+
+  if (c.check_verified) {
+    // The verified direction explores ~T configs (cost scales with the
+    // constants — the digitization tradeoff); skipped for the largest T.
+    const Module mon_ok = gallery::order_monitor("fast", "slow", "ok_fail");
+    const InvariantProperty ok("fast first", {{"ok_fail", true}});
+    const DiscreteVerifyResult v = discrete_verify({&m, &mon_ok}, {&ok});
+    EXPECT_FALSE(v.violated) << c.name;
+    EXPECT_FALSE(v.truncated) << c.name;
+    EXPECT_GT(v.states_explored, static_cast<std::size_t>(c.slow_ticks))
+        << c.name;
+    const ZoneVerifyResult z = zone_verify({&m, &mon_ok}, {&ok});
+    EXPECT_EQ(v.violated, z.violated) << c.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, DiscreteAgeBoundary,
+    ::testing::Values(AgeBoundaryCase{"ticks65535", 65535, true},
+                      AgeBoundaryCase{"ticks65536", 65536, true},
+                      AgeBoundaryCase{"ticks100000", 100000, true},
+                      AgeBoundaryCase{"ticks4000000", 4'000'000, false}),
+    [](const ::testing::TestParamInfo<AgeBoundaryCase>& info) {
+      return info.param.name;
+    });
 
 }  // namespace
 }  // namespace rtv

@@ -1,0 +1,206 @@
+// Differential campaign end-to-end: a deliberately lying engine must be
+// caught and auto-minimized, broken counterexample traces and throwing
+// engines must surface as failures, and case-limited campaigns must be
+// bit-reproducible (fingerprint contract).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "rtv/base/json.hpp"
+#include "rtv/fuzz/campaign.hpp"
+#include "rtv/verify/engine.hpp"
+
+namespace rtv::fuzz {
+namespace {
+
+/// An engine that always claims kVerified — a stand-in for a soundness bug
+/// that misses violations.  The campaign oracle must flag it the first
+/// time an honest engine proves a violation.
+class AlwaysVerifiedEngine : public Engine {
+ public:
+  std::string_view name() const override { return "liar_verified"; }
+  std::string_view description() const override {
+    return "test double: claims every obligation verified";
+  }
+  EngineResult run(const EngineRequest&) const override {
+    EngineResult r;
+    r.verdict = Verdict::kVerified;
+    r.message = "liar";
+    return r;
+  }
+};
+
+/// An engine that claims kViolated with a counterexample that cannot
+/// replay (unknown label).  Exercises the trace-replay oracle.
+class BogusTraceEngine : public Engine {
+ public:
+  std::string_view name() const override { return "liar_trace"; }
+  std::string_view description() const override {
+    return "test double: fabricates non-replayable counterexamples";
+  }
+  EngineResult run(const EngineRequest&) const override {
+    EngineResult r;
+    r.verdict = Verdict::kViolated;
+    r.trace_labels = {"no_such_event"};
+    return r;
+  }
+};
+
+class ThrowingEngine : public Engine {
+ public:
+  std::string_view name() const override { return "liar_throw"; }
+  std::string_view description() const override {
+    return "test double: raises instead of answering";
+  }
+  EngineResult run(const EngineRequest&) const override {
+    throw std::runtime_error("injected engine defect");
+  }
+};
+
+class FuzzCampaign : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    register_engine(std::make_unique<AlwaysVerifiedEngine>());
+    register_engine(std::make_unique<BogusTraceEngine>());
+    register_engine(std::make_unique<ThrowingEngine>());
+  }
+};
+
+TEST_F(FuzzCampaign, InjectedUnsoundEngineIsCaughtAndMinimized) {
+  CampaignOptions opt;
+  opt.seed = 1;
+  opt.cases = 40;
+  opt.engines = {"zone", "liar_verified"};
+  opt.minimize = true;
+
+  const CampaignReport report = run_campaign(opt);
+  ASSERT_FALSE(report.ok())
+      << "an engine that never reports violations must disagree within "
+      << opt.cases << " default-config cases";
+  const CampaignFailure& f = report.failures.front();
+  EXPECT_EQ(f.kind, FailureKind::kDisagreement);
+  EXPECT_EQ(f.verdicts.size(), 2u);
+
+  // The minimizer may only shrink, and the reproducer it emits must still
+  // fail when replayed standalone from (seed, minimized config).
+  EXPECT_LE(config_size(f.minimized), config_size(f.config));
+  CampaignOptions replay = opt;
+  replay.minimize = false;
+  const CaseResult again = run_case(f.seed, f.minimized, replay);
+  ASSERT_TRUE(again.failure.has_value());
+  EXPECT_EQ(again.failure->kind, FailureKind::kDisagreement);
+}
+
+TEST_F(FuzzCampaign, NonReplayableTraceIsAFailure) {
+  CampaignOptions opt;
+  opt.engines = {"liar_trace"};
+  opt.minimize = false;
+  const CaseResult res = run_case(case_seed(3, 0), GeneratorConfig{}, opt);
+  ASSERT_TRUE(res.failure.has_value());
+  EXPECT_EQ(res.failure->kind, FailureKind::kBadTrace);
+  EXPECT_NE(res.failure->detail.find("no_such_event"), std::string::npos);
+}
+
+TEST_F(FuzzCampaign, ThrowingEngineIsAFailure) {
+  CampaignOptions opt;
+  opt.engines = {"discrete", "liar_throw"};
+  opt.minimize = false;
+  const CaseResult res = run_case(case_seed(3, 1), GeneratorConfig{}, opt);
+  ASSERT_TRUE(res.failure.has_value());
+  EXPECT_EQ(res.failure->kind, FailureKind::kEngineError);
+}
+
+TEST_F(FuzzCampaign, CleanCampaignAgreesAcrossAllThreeEngines) {
+  CampaignOptions opt;
+  opt.seed = 2026;
+  opt.cases = 60;
+  opt.config.modules = 3;
+  opt.config.properties = 2;
+  opt.jobs = 2;
+  const CampaignReport report = run_campaign(opt);
+  EXPECT_TRUE(report.ok()) << report.to_json();
+  EXPECT_EQ(report.cases, 60u);
+  EXPECT_GT(report.definitive_verdicts, 0u);
+}
+
+TEST_F(FuzzCampaign, CaseLimitedCampaignsAreReproducible) {
+  CampaignOptions opt;
+  opt.seed = 11;
+  opt.cases = 30;
+  const CampaignReport a = run_campaign(opt);
+  const CampaignReport b = run_campaign(opt);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+
+  CampaignOptions other = opt;
+  other.seed = 12;
+  EXPECT_NE(run_campaign(other).fingerprint(), a.fingerprint());
+
+  // Reports parse as JSON and carry the schema header.
+  const json::Value parsed = json::parse(a.to_json(), "campaign report");
+  EXPECT_EQ(json::require(parsed, "schema", json::Value::Kind::kString,
+                          "schema tag", "campaign report")
+                .string,
+            CampaignReport::kSchemaName);
+}
+
+// Minimized reproducers banked from the first real campaigns: each caught
+// a genuine refinement-engine soundness bug, fixed in the commit that
+// added it here.  All three engines must agree (and replay) forever after.
+struct BankedFinding {
+  const char* what;
+  std::uint64_t seed;
+  const char* config_json;
+};
+
+TEST_F(FuzzCampaign, BankedFindingsStayFixed) {
+  static const BankedFinding kFindings[] = {
+      {// Self-loop pending deadlines charged against interned traces +
+       // choked outputs anchored at the refusal point (trace_timing.cpp):
+       // refine claimed VERIFIED on a reachable refusal.
+       "self-loop deadline / choke anchoring", 15632277821397755268ULL,
+       R"({"schema":"rtv-fuzz-config","modules":2,"events":1,"max_delay":16,)"
+       R"("properties":0,"unbounded_p":0,"share_p":0.3,"point_delays":true,)"
+       R"("gates":true,"deadlock_check":false,"persistency_check":false})"},
+      {// A [0,0] self-loop pins time at its enabling instant; the blanket
+       // self-loop exemption made refine claim a VIOLATED that dense time
+       // forbids.
+       "zero-deadline self-loop pins time", 1454460304657522376ULL,
+       R"({"schema":"rtv-fuzz-config","modules":3,"events":2,"max_delay":1,)"
+       R"("properties":0,"unbounded_p":0.1,"share_p":0.3,"point_delays":false,)"
+       R"("gates":true,"deadlock_check":false,"persistency_check":false})"},
+      {// blocked_by_age substituted -cap_ for an extrapolated (kGapInf)
+       // wave gap — unsound for events whose lower bound exceeds the cap
+       // (lazy_ts.cpp): refine pruned a reachable refusal.
+       "age-rule gap extrapolation past the cap", 3138098403129281633ULL,
+       R"({"schema":"rtv-fuzz-config","modules":2,"events":4,"max_delay":16,)"
+       R"("properties":0,"unbounded_p":0.1,"share_p":0.3,"point_delays":false,)"
+       R"("gates":false,"deadlock_check":false,"persistency_check":false})"},
+  };
+  CampaignOptions opt;
+  opt.minimize = false;
+  for (const BankedFinding& f : kFindings) {
+    const GeneratorConfig config = GeneratorConfig::from_json(f.config_json);
+    const CaseResult res = run_case(f.seed, config, opt);
+    EXPECT_FALSE(res.failure.has_value())
+        << f.what << " (seed " << f.seed
+        << "): " << (res.failure ? res.failure->detail : "");
+    EXPECT_EQ(res.definitive, opt.engines.size()) << f.what;
+  }
+}
+
+TEST_F(FuzzCampaign, RejectsUnboundedOrUnknownCampaigns) {
+  CampaignOptions no_limit;
+  no_limit.cases = 0;
+  no_limit.seconds = 0.0;
+  EXPECT_THROW(run_campaign(no_limit), std::invalid_argument);
+
+  CampaignOptions unknown;
+  unknown.cases = 1;
+  unknown.engines = {"zone", "no_such_engine"};
+  EXPECT_THROW(run_campaign(unknown), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rtv::fuzz

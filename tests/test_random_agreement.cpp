@@ -1,95 +1,71 @@
-// Cross-validation sweep: on random small timed systems the relative-timing
-// refinement engine and the exact zone engine must agree.  Both run through
-// the unified engine registry, so agreement is literal Verdict equality.
+// Cross-validation sweep: on random small timed systems every engine in
+// the registry — relative-timing refinement, exact dense-time zones and
+// digitized 64-bit ages — must agree.  Scenarios come from the seeded
+// fuzz generator (rtv/fuzz/generator.hpp) and run through the campaign's
+// differential oracle, so "agree" is the full contract: no contradictory
+// definitive verdicts AND every counterexample trace replays through the
+// composition.  Each failure message carries the case seed; replay it with
+//
+//   rtv fuzz --replay --seed <seed> --modules 3 --properties 2
 #include <gtest/gtest.h>
 
 #include "rtv/base/rng.hpp"
+#include "rtv/fuzz/campaign.hpp"
+#include "rtv/fuzz/generator.hpp"
 #include "rtv/ts/gallery.hpp"
 #include "rtv/verify/engine.hpp"
 
 namespace rtv {
 namespace {
 
-/// Verdicts of the "refine" and "zone" registry engines on one obligation.
-std::pair<EngineResult, EngineResult> run_refine_and_zone(
-    const std::vector<const Module*>& modules,
-    const std::vector<const SafetyProperty*>& properties,
-    std::size_t max_refinements = 500) {
-  const Engine* refine = engine_registry().find("refine");
-  const Engine* zone = engine_registry().find("zone");
-  EXPECT_NE(refine, nullptr);
-  EXPECT_NE(zone, nullptr);
-  EngineRequest req;
-  req.modules = modules;
-  req.properties = properties;
-  req.max_refinements = max_refinements;
-  return {refine->run(req), zone->run(req)};
-}
-
-/// Random acyclic "progress graph": two independent chains with random
-/// delays whose events interleave, plus an ordering property between one
-/// event of each chain.
-Module random_two_chain_system(Rng& rng, std::string* first, std::string* then) {
-  const int n1 = 2 + static_cast<int>(rng.below(2));
-  const int n2 = 2 + static_cast<int>(rng.below(2));
-  TransitionSystem ts;
-  std::vector<EventId> chain1, chain2;
-  for (int i = 0; i < n1; ++i) {
-    const Time lo = static_cast<Time>(rng.below(4)) * kTicksPerUnit;
-    const Time hi = lo + static_cast<Time>(1 + rng.below(4)) * kTicksPerUnit;
-    chain1.push_back(ts.add_event("p" + std::to_string(i), DelayInterval(lo, hi)));
-  }
-  for (int i = 0; i < n2; ++i) {
-    const Time lo = static_cast<Time>(rng.below(4)) * kTicksPerUnit;
-    const Time hi = lo + static_cast<Time>(1 + rng.below(4)) * kTicksPerUnit;
-    chain2.push_back(ts.add_event("q" + std::to_string(i), DelayInterval(lo, hi)));
-  }
-  // Product state space (i, j): progress along each chain.
-  std::vector<std::vector<StateId>> grid(static_cast<std::size_t>(n1) + 1);
-  for (int i = 0; i <= n1; ++i)
-    for (int j = 0; j <= n2; ++j)
-      grid[static_cast<std::size_t>(i)].push_back(
-          ts.add_state("g" + std::to_string(i) + "_" + std::to_string(j)));
-  for (int i = 0; i <= n1; ++i) {
-    for (int j = 0; j <= n2; ++j) {
-      if (i < n1)
-        ts.add_transition(grid[i][j], chain1[static_cast<std::size_t>(i)],
-                          grid[i + 1][j]);
-      if (j < n2)
-        ts.add_transition(grid[i][j], chain2[static_cast<std::size_t>(j)],
-                          grid[i][j + 1]);
-    }
-  }
-  // Keep the final state alive so deadlock-freedom is not the issue.
-  const EventId idle = ts.add_event("idle", DelayInterval::units(1, 2));
-  ts.add_transition(grid[static_cast<std::size_t>(n1)][static_cast<std::size_t>(n2)],
-                    idle,
-                    grid[static_cast<std::size_t>(n1)][static_cast<std::size_t>(n2)]);
-  ts.set_initial(grid[0][0]);
-
-  *first = "p" + std::to_string(rng.below(static_cast<std::uint64_t>(n1)));
-  *then = "q" + std::to_string(rng.below(static_cast<std::uint64_t>(n2)));
-  return Module("random", std::move(ts));
-}
-
 class RandomAgreement : public ::testing::TestWithParam<int> {};
 
-TEST_P(RandomAgreement, RefinementMatchesZoneVerdict) {
-  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
-  std::string first, then;
-  const Module sys = random_two_chain_system(rng, &first, &then);
-  const Module mon = gallery::order_monitor(first, then);
-  const InvariantProperty bad("order", {{"fail", true}});
+/// One generated obligation through all three engines.  kInconclusive is
+/// accepted only for budget truncation (never expected at these sizes).
+TEST_P(RandomAgreement, AllEnginesAgreeOnGeneratedScenarios) {
+  fuzz::GeneratorConfig config;
+  config.modules = 3;
+  config.properties = 2;
 
-  const auto [rt, zn] = run_refine_and_zone({&sys, &mon}, {&bad}, 300);
+  fuzz::CampaignOptions opt;
+  opt.config = config;
+  opt.minimize = false;
 
-  ASSERT_NE(rt.verdict, Verdict::kInconclusive)
-      << "seed " << GetParam() << " property " << first << " < " << then;
-  ASSERT_NE(zn.verdict, Verdict::kInconclusive)
-      << "seed " << GetParam() << " property " << first << " < " << then;
-  EXPECT_EQ(rt.verdict, zn.verdict)
-      << "seed " << GetParam() << " property " << first << " < " << then
-      << " zone: " << zn.message;
+  const std::uint64_t seed =
+      fuzz::case_seed(0xa9 + static_cast<std::uint64_t>(GetParam()), 0);
+  const fuzz::Scenario sc = fuzz::generate(seed, config);
+  const fuzz::CaseResult res = fuzz::run_case(seed, config, opt);
+  EXPECT_FALSE(res.failure.has_value())
+      << "seed " << seed << " (" << sc.describe()
+      << "): " << (res.failure ? res.failure->detail : "");
+  EXPECT_EQ(res.definitive, opt.engines.size())
+      << "seed " << seed << " (" << sc.describe()
+      << "): an engine came back inconclusive at smoke-test size";
+}
+
+/// Larger mixed-magnitude delays: constants past the old 16-bit discrete
+/// age boundary (65535 ticks) against the zone engine.  Kept at 2^16 —
+/// the digitized engine's runtime grows with the constants themselves
+/// (tick-by-tick time steps), not with the state count, so bigger caps
+/// belong in the nightly fuzz campaign with --timeout, not in tier-1.
+TEST_P(RandomAgreement, AgreementHoldsWithLargeDelayConstants) {
+  fuzz::GeneratorConfig config;
+  config.modules = 2;
+  config.events = 3;
+  config.max_delay = Time{1} << 16;
+  config.properties = 1;
+
+  fuzz::CampaignOptions opt;
+  opt.config = config;
+  opt.engines = {"zone", "discrete"};  // refine covered above; keep this fast
+  opt.minimize = false;
+
+  const std::uint64_t seed =
+      fuzz::case_seed(0xb7 + static_cast<std::uint64_t>(GetParam()), 1);
+  const fuzz::CaseResult res = fuzz::run_case(seed, config, opt);
+  EXPECT_FALSE(res.failure.has_value())
+      << "seed " << seed << ": "
+      << (res.failure ? res.failure->detail : "");
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomAgreement, ::testing::Range(0, 40));
@@ -119,7 +95,15 @@ TEST_P(RandomPersistency, RefinementMatchesZoneVerdict) {
   const Module sys("conflict", std::move(ts));
   const PersistencyProperty pers;
 
-  const auto [rt, zn] = run_refine_and_zone({&sys}, {&pers});
+  const Engine* refine = engine_registry().find("refine");
+  const Engine* zone = engine_registry().find("zone");
+  ASSERT_NE(refine, nullptr);
+  ASSERT_NE(zone, nullptr);
+  EngineRequest req;
+  req.modules = {&sys};
+  req.properties = {&pers};
+  const EngineResult rt = refine->run(req);
+  const EngineResult zn = zone->run(req);
   ASSERT_NE(rt.verdict, Verdict::kInconclusive);
   ASSERT_NE(zn.verdict, Verdict::kInconclusive);
   EXPECT_EQ(rt.verdict, zn.verdict)

@@ -10,6 +10,14 @@
 //   rtv portfolio a.g b.g ...  [--engines NAME,NAME] [--jobs N] [--json F]
 //                              (one obligation; engines race, first verdict wins)
 //   rtv engines                (list the registered verification engines)
+//   rtv fuzz                   [--seed S] [--cases N] [--seconds S] [--jobs N]
+//                              [--engines NAME,NAME] [--modules N] [--events N]
+//                              [--max-delay T] [--properties N] [--config F]
+//                              [--max-states N] [--timeout S] [--no-minimize]
+//                              [--replay] [--json F]
+//                              (differential fuzzing: every generated scenario
+//                              runs through all selected engines; exit 1 iff a
+//                              disagreement / bad trace / engine error is found)
 //   rtv ipcmos                 [--engine NAME] [--jobs N] [--json F]
 //   rtv simulate a.g b.g ...   [--events N] [--seed S] [--vcd out.vcd] [--signals s1,s2]
 //   rtv dot      a.g           (marking graph as graphviz)
@@ -27,10 +35,12 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "rtv/fuzz/campaign.hpp"
 #include "rtv/ipcmos/experiments.hpp"
 #include "rtv/sim/simulator.hpp"
 #include "rtv/sim/waveform.hpp"
@@ -65,6 +75,11 @@ int usage() {
       "                           [--timeout S] [--max-states N] [--no-deadlock]\n"
       "                           [--no-persistency] [--max-ref N] [--progress]\n"
       "  rtv engines\n"
+      "  rtv fuzz                 [--seed S] [--cases N] [--seconds S] [--jobs N]\n"
+      "                           [--engines NAME,NAME...] [--modules N] [--events N]\n"
+      "                           [--max-delay TICKS] [--properties N] [--config FILE]\n"
+      "                           [--max-states N] [--timeout S] [--no-minimize]\n"
+      "                           [--replay] [--json FILE]\n"
       "  rtv ipcmos               [--engine NAME[,NAME...]] [--jobs N] [--json FILE]\n"
       "  rtv simulate  <stg.g>... [--events N] [--seed S] [--vcd FILE] [--signals a,b]\n"
       "  rtv dot       <stg.g>\n"
@@ -186,11 +201,11 @@ ProgressFn progress_printer() {
   };
 }
 
-/// Write the JSON suite report; I/O failures are runtime errors (70), not
+/// Write a JSON document; I/O failures are runtime errors (70), not
 /// verdicts.
-bool write_json(const SuiteReport& report, const std::string& path) {
+bool write_text(const std::string& json, const std::string& path) {
   std::ofstream out(path);
-  out << report.to_json();
+  out << json;
   out.flush();  // surface buffered write errors (disk full) before testing
   if (!out) {
     std::fprintf(stderr, "error: cannot write JSON report to %s\n",
@@ -215,7 +230,7 @@ SuiteOptions suite_options(const VerifyCliOptions& cli, SuiteMode mode) {
 
 int finish_suite(const SuiteReport& report, const VerifyCliOptions& cli) {
   std::printf("%s", format_table(report).c_str());
-  if (!cli.json_path.empty() && !write_json(report, cli.json_path))
+  if (!cli.json_path.empty() && !write_text(report.to_json(), cli.json_path))
     return kExitRuntime;
   return exit_code(report.overall());
 }
@@ -390,9 +405,67 @@ int cmd_ipcmos(const VerifyCliOptions& cli) {
       run_suite(suite, suite_options(cli, SuiteMode::kBatch));
   // The paper's table shape: refinement counts per experiment.
   std::printf("%s", format_table(rows_from(report)).c_str());
-  if (!cli.json_path.empty() && !write_json(report, cli.json_path))
+  if (!cli.json_path.empty() && !write_text(report.to_json(), cli.json_path))
     return kExitRuntime;
   return exit_code(report.overall());
+}
+
+// ---------------------------------------------------------------------------
+// fuzz — the differential campaign (rtv/fuzz/campaign.hpp)
+// ---------------------------------------------------------------------------
+
+int cmd_fuzz(fuzz::CampaignOptions opt, bool replay,
+             const std::string& json_path) {
+  if (!engines_exist(opt.engines)) return kExitUsage;
+  if (opt.engines.size() < 2 && !replay) {
+    std::fprintf(stderr,
+                 "fuzz compares engine verdicts; select at least two with "
+                 "--engines\n");
+    return kExitUsage;
+  }
+  opt.log = [](const std::string& line) {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  };
+
+  if (replay) {
+    // --seed is the *case* seed here (as printed in a failure's
+    // reproducer line), not a campaign seed.
+    const fuzz::CaseResult r = fuzz::run_case(opt.seed, opt.config, opt);
+    std::printf("== fuzz replay (seed %llu) ==\n",
+                static_cast<unsigned long long>(opt.seed));
+    std::printf("config:   %s\n", opt.config.to_json().c_str());
+    if (!r.failure) {
+      std::printf(
+          "agreed:   %zu definitive verdict(s), %zu trace(s) replayed\n",
+          r.definitive, r.traces_replayed);
+      return 0;
+    }
+    std::printf("FAILURE:  %s — %s\n", fuzz::to_string(r.failure->kind),
+                r.failure->detail.c_str());
+    return 1;
+  }
+
+  const fuzz::CampaignReport report = fuzz::run_campaign(opt);
+  std::printf("== fuzz campaign ==\n");
+  std::printf("seed:       %llu\n",
+              static_cast<unsigned long long>(report.seed));
+  std::printf("config:     %s\n", report.config.to_json().c_str());
+  std::printf("cases:      %zu (%zu definitive verdicts, %zu traces replayed)\n",
+              report.cases, report.definitive_verdicts,
+              report.traces_replayed);
+  std::printf("time:       %.1f s\n", report.wall_seconds);
+  std::printf("failures:   %zu\n", report.failures.size());
+  for (const fuzz::CampaignFailure& f : report.failures) {
+    std::printf("  case %zu: %s — %s\n", f.case_index,
+                fuzz::to_string(f.kind), f.detail.c_str());
+    std::printf("    replay: rtv fuzz --replay --seed %llu --config <file "
+                "holding: %s>\n",
+                static_cast<unsigned long long>(f.seed),
+                f.minimized.to_json().c_str());
+  }
+  if (!json_path.empty() && !write_text(report.to_json(), json_path))
+    return kExitRuntime;
+  return report.ok() ? 0 : 1;
 }
 
 }  // namespace
@@ -406,6 +479,10 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   std::string vcd;
   std::vector<std::string> signals;
+  fuzz::CampaignOptions fuzz_opt;
+  fuzz_opt.jobs = 0;  // CLI default: one worker per hardware thread
+  bool fuzz_replay = false;
+  bool fuzz_cases_set = false;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -437,8 +514,44 @@ int main(int argc, char** argv) {
       vopts.json_path = next();
     } else if (arg == "--events") {
       events = parse_size(arg, next());
+      fuzz_opt.config.events = static_cast<std::uint32_t>(events);
     } else if (arg == "--seed") {
       seed = parse_size(arg, next());
+    } else if (arg == "--cases") {
+      fuzz_opt.cases = parse_size(arg, next());
+      fuzz_cases_set = true;
+    } else if (arg == "--seconds") {
+      fuzz_opt.seconds = parse_double(arg, next());
+      // A time-bounded campaign runs until the deadline unless the user
+      // also capped the cases explicitly.
+      if (!fuzz_cases_set) fuzz_opt.cases = 0;
+    } else if (arg == "--modules") {
+      fuzz_opt.config.modules =
+          static_cast<std::uint32_t>(parse_size(arg, next()));
+    } else if (arg == "--max-delay") {
+      fuzz_opt.config.max_delay = static_cast<Time>(parse_size(arg, next()));
+    } else if (arg == "--properties") {
+      fuzz_opt.config.properties =
+          static_cast<std::uint32_t>(parse_size(arg, next()));
+    } else if (arg == "--config") {
+      const std::string path = next();
+      std::ifstream in(path);
+      if (!in) {
+        std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+        return kExitRuntime;
+      }
+      std::string text((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+      try {
+        fuzz_opt.config = fuzz::GeneratorConfig::from_json(text);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return kExitUsage;
+      }
+    } else if (arg == "--no-minimize") {
+      fuzz_opt.minimize = false;
+    } else if (arg == "--replay") {
+      fuzz_replay = true;
     } else if (arg == "--vcd") {
       vcd = next();
     } else if (arg == "--signals") {
@@ -457,6 +570,14 @@ int main(int argc, char** argv) {
     if (cmd == "portfolio" && !files.empty())
       return cmd_portfolio(files, vopts);
     if (cmd == "engines") return cmd_engines();
+    if (cmd == "fuzz" && files.empty()) {
+      fuzz_opt.seed = seed;
+      if (!vopts.engines.empty()) fuzz_opt.engines = vopts.engines;
+      if (vopts.jobs != 0) fuzz_opt.jobs = vopts.jobs;
+      if (vopts.max_states != 0) fuzz_opt.max_states = vopts.max_states;
+      fuzz_opt.max_seconds = vopts.timeout_seconds;
+      return cmd_fuzz(std::move(fuzz_opt), fuzz_replay, vopts.json_path);
+    }
     if (cmd == "simulate" && !files.empty())
       return cmd_simulate(files, events, seed, vcd, signals);
     if (cmd == "dot" && files.size() == 1) return cmd_dot(files[0]);
