@@ -1,0 +1,178 @@
+// `rtv serve` throughput: requests/sec and cache hit-rate at N workers.
+//
+// The service's value proposition is the warm path: an edited suite
+// re-verifies in O(changed obligations) because everything untouched is a
+// content-hash cache hit.  This bench quantifies both paths in one
+// process — a daemon on a temp socket, N client threads round-tripping
+// verify requests drawn from a pool of K distinct obligations:
+//
+//   * cold — every request is a distinct obligation (all misses, real
+//     verification work through run_suite);
+//   * warm — the same requests replayed (all hits, O(1) lookups);
+//
+// and prints requests/s, hit rate and the warm/cold speedup per worker
+// count, emitting the numbers as machine-readable JSON (BENCH_serve.json
+// in CI) so the trajectory is trackable across commits.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rtv/base/json.hpp"
+#include "rtv/serve/client.hpp"
+#include "rtv/serve/server.hpp"
+#include "rtv/ts/gallery.hpp"
+
+#include <unistd.h>
+
+using namespace rtv;
+
+namespace {
+
+/// One pool of distinct obligations: scaled races with different delay
+/// constants hash differently, so the cold pass is all misses.  The
+/// digitized engine's work grows linearly with the constants, making the
+/// cold pass real verification work (the warm pass is an O(1) lookup
+/// regardless — which is the whole point being measured).
+std::vector<serve::WireObligation> make_pool(std::size_t count) {
+  std::vector<serve::WireObligation> pool;
+  for (std::size_t i = 0; i < count; ++i) {
+    serve::WireObligation ob;
+    ob.name = "race-" + std::to_string(i + 1);
+    ob.modules.push_back(gallery::scaled_race(static_cast<int>(100 + i)));
+    ob.properties.push_back(serve::PropertySpec::deadlock());
+    pool.push_back(std::move(ob));
+  }
+  return pool;
+}
+
+struct PassResult {
+  double seconds = 0.0;
+  std::size_t requests = 0;
+  double requests_per_second() const {
+    return seconds > 0.0 ? static_cast<double>(requests) / seconds : 0.0;
+  }
+};
+
+/// `workers` threads, each its own connection, splitting the pool round-
+/// robin; every request carries one obligation (the service batches
+/// adjacent compatible jobs internally).
+PassResult run_pass(const std::string& socket_path,
+                    const std::vector<serve::WireObligation>& pool,
+                    std::size_t workers) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      serve::Client client;
+      client.connect(socket_path);
+      for (std::size_t i = w; i < pool.size(); i += workers) {
+        serve::ServeRequest req;
+        req.kind = serve::RequestKind::kVerify;
+        req.engines = {"discrete"};
+        req.obligations.push_back(pool[i]);
+        const serve::ServeResponse resp = client.call(req);
+        if (!resp.ok) {
+          std::fprintf(stderr, "request failed: %s\n", resp.error.c_str());
+          std::exit(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  PassResult r;
+  r.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  r.requests = pool.size();
+  return r;
+}
+
+struct Row {
+  std::size_t workers = 0;
+  PassResult cold, warm;
+  double hit_rate = 0.0;  ///< of the warm pass
+  double speedup() const {
+    return warm.seconds > 0.0 ? cold.seconds / warm.seconds : 0.0;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) json_path = argv[++i];
+  }
+
+  const std::string socket_path =
+      "/tmp/rtv-bench-serve-" + std::to_string(::getpid()) + ".sock";
+  const std::vector<serve::WireObligation> pool = make_pool(64);
+
+  std::printf("rtv serve throughput — %zu distinct obligations per pass\n\n",
+              pool.size());
+  std::printf("%8s %14s %14s %10s %10s\n", "workers", "cold req/s",
+              "warm req/s", "hit rate", "speedup");
+
+  std::vector<Row> rows;
+  for (std::size_t workers : {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+    // A fresh daemon per worker count keeps the passes independent: the
+    // cold pass is all misses, the warm pass all hits.
+    serve::ServerOptions opts;
+    opts.socket_path = socket_path;
+    serve::Server server(opts);
+    server.start();
+
+    Row row;
+    row.workers = workers;
+    row.cold = run_pass(socket_path, pool, workers);
+    const serve::ServeStats before = server.stats();
+    row.warm = run_pass(socket_path, pool, workers);
+    const serve::ServeStats after = server.stats();
+    const std::uint64_t warm_hits = after.cache_hits - before.cache_hits;
+    row.hit_rate = static_cast<double>(warm_hits) /
+                   static_cast<double>(row.warm.requests);
+    server.stop();
+    rows.push_back(row);
+
+    std::printf("%8zu %14.1f %14.1f %9.1f%% %9.1fx\n", row.workers,
+                row.cold.requests_per_second(),
+                row.warm.requests_per_second(), 100.0 * row.hit_rate,
+                row.speedup());
+  }
+
+  if (!json_path.empty()) {
+    std::string out = "{\"bench\":\"serve_throughput\",\"obligations\":" +
+                      std::to_string(pool.size()) + ",\"rows\":[";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      if (i) out += ",";
+      out += "{\"workers\":" + std::to_string(r.workers);
+      out += ",\"cold_seconds\":";
+      json::append_double(out, r.cold.seconds);
+      out += ",\"warm_seconds\":";
+      json::append_double(out, r.warm.seconds);
+      out += ",\"cold_requests_per_second\":";
+      json::append_double(out, r.cold.requests_per_second());
+      out += ",\"warm_requests_per_second\":";
+      json::append_double(out, r.warm.requests_per_second());
+      out += ",\"hit_rate\":";
+      json::append_double(out, r.hit_rate);
+      out += ",\"speedup\":";
+      json::append_double(out, r.speedup());
+      out += "}";
+    }
+    out += "]}\n";
+    std::ofstream f(json_path);
+    f << out;
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("\nJSON written to %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -1,9 +1,11 @@
 #include "rtv/fuzz/campaign.hpp"
 
 #include <chrono>
+#include <cstdio>
 #include <stdexcept>
 #include <utility>
 
+#include "rtv/base/hash.hpp"
 #include "rtv/base/json.hpp"
 #include "rtv/ts/compose.hpp"
 #include "rtv/verify/suite.hpp"
@@ -260,26 +262,30 @@ std::string CampaignReport::to_json() const {
 }
 
 std::string CampaignReport::fingerprint() const {
-  std::string out = "rtv-fuzz-report v" + std::to_string(kSchemaVersion);
-  out += " seed=" + std::to_string(seed);
-  out += " config=" + config.to_json();
-  out += " engines=";
-  for (std::size_t i = 0; i < engines.size(); ++i) {
-    if (i > 0) out += ",";
-    out += engines[i];
-  }
-  out += " cases=" + std::to_string(cases);
-  out += " definitive=" + std::to_string(definitive_verdicts);
-  out += " replayed=" + std::to_string(traces_replayed);
+  // The library-wide FNV-1a idiom (rtv/base/hash.hpp): every field is
+  // length- or width-delimited, so the digest is platform-stable and free
+  // of concatenation ambiguity.
+  Fnv1a h(0x7274762d66757a7aull);  // "rtv-fuzz" domain tag
+  h.u64(static_cast<std::uint64_t>(kSchemaVersion));
+  h.u64(seed);
+  h.str(config.to_json());
+  h.u64(engines.size());
+  for (const std::string& e : engines) h.str(e);
+  h.u64(cases).u64(definitive_verdicts).u64(traces_replayed);
+  h.u64(failures.size());
   for (const CampaignFailure& f : failures) {
-    out += "\nfailure kind=" + std::string(to_string(f.kind));
-    out += " case=" + std::to_string(f.case_index);
-    out += " seed=" + std::to_string(f.seed);
-    out += " minimized=" + f.minimized.to_json();
-    out += " verdicts=";
-    append_verdicts(out, f.verdicts);
+    h.str(to_string(f.kind));
+    h.u64(f.case_index);
+    h.u64(f.seed);
+    h.str(f.minimized.to_json());
+    std::string verdicts;
+    append_verdicts(verdicts, f.verdicts);
+    h.str(verdicts);
   }
-  return out;
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h.digest()));
+  return buf;
 }
 
 }  // namespace rtv::fuzz

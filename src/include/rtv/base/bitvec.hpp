@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "rtv/base/hash.hpp"
+
 namespace rtv {
 
 class BitVec {
@@ -105,10 +107,7 @@ class BitVec {
 
   std::size_t hash() const {
     std::size_t h = n_bits_;
-    for (auto w : words_) {
-      // splitmix-style combine
-      h ^= static_cast<std::size_t>(w) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
-    }
+    for (auto w : words_) h = hash_mix(h, static_cast<std::size_t>(w));
     return h;
   }
 

@@ -49,6 +49,8 @@
 #include <utility>
 #include <vector>
 
+#include "rtv/base/hash.hpp"
+
 namespace rtv {
 
 /// The library-wide jobs convention: 0 = one worker per hardware thread,
@@ -389,8 +391,7 @@ class ShardedInterner {
 
   std::uint32_t shard_of(std::size_t h) const {
     if (shards_.size() == 1) return 0;
-    return static_cast<std::uint32_t>(
-        (h * 0x9e3779b97f4a7c15ull) >> shift_);
+    return static_cast<std::uint32_t>(hash_spread(h) >> shift_);
   }
 
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -138,8 +138,9 @@ struct CampaignReport {
   /// not survive a double round-trip.
   std::string to_json() const;
 
-  /// Wall-clock-free digest of everything else: two runs with identical
-  /// (seed, config, engines, cases) produce identical fingerprints — the
+  /// Wall-clock-free FNV-1a digest (rtv/base/hash.hpp) of everything
+  /// else, as a 16-hex-digit string: two runs with identical (seed,
+  /// config, engines, cases) produce identical fingerprints — the
   /// reproducibility contract `rtv fuzz` and the campaign tests check.
   std::string fingerprint() const;
 };

@@ -1,0 +1,50 @@
+// Blocking client for the `rtv serve` daemon.
+//
+// One Client = one Unix-domain connection.  call() writes one
+// line-delimited JSON request and blocks for the matching response line —
+// the protocol is strictly request/response per connection, so no
+// correlation ids are needed.  Clients are cheap; concurrent callers each
+// open their own (a Client is not thread-safe).
+#pragma once
+
+#include <string>
+
+#include "rtv/serve/wire.hpp"
+
+namespace rtv::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connect to a daemon's listening socket; throws std::runtime_error
+  /// when the socket is absent or refuses.
+  void connect(const std::string& socket_path);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Send one request, block for its response.  Throws std::runtime_error
+  /// on transport failure (daemon gone mid-call) or an unparseable
+  /// response; protocol-level failures come back as resp.ok == false.
+  ServeResponse call(const ServeRequest& request);
+
+  /// True iff the daemon answered a ping with ok.
+  bool ping();
+  /// Throws when the daemon answers with an error.
+  ServeStats get_stats();
+  /// Ask the daemon to persist its cache and shut down (the daemon's
+  /// owner performs the actual stop).  Throws on transport failure.
+  void request_shutdown();
+
+ private:
+  int fd_ = -1;
+  std::string buf_;  ///< bytes received past the last response line
+};
+
+}  // namespace rtv::serve

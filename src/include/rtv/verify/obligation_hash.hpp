@@ -1,0 +1,47 @@
+// Canonical content hashing of verification obligations.
+//
+// The `rtv serve` verdict cache (rtv/serve/cache.hpp) is content-addressed:
+// two requests share a cache entry iff the *semantics* of the question are
+// identical.  This header defines the canonical hash of the semantic
+// inputs that live in the verify layer — module content and budgets — on
+// the library-wide FNV-1a idiom (rtv/base/hash.hpp), so the encoding is
+// platform-stable and safe to persist.
+//
+// What a module hash covers (and deliberately does not):
+//
+//   * covered — the initial state, every event in id order (label, delay
+//     bounds, kind), every state's outgoing transitions in stored order,
+//     the signal-name alphabet and per-state valuations (invariant
+//     properties read them);
+//   * excluded — the module *name* and state *names*: pure presentation,
+//     renaming must not invalidate cached verdicts.
+//
+// Budgets are part of the key because they change the *answer*, not just
+// the cost: a cached Inconclusive at max_states=1000 must never answer a
+// request with max_states=10000.  The worker count (jobs) is excluded: the
+// parallel substrate's determinism contract guarantees jobs-independent
+// verdicts and traces.
+#pragma once
+
+#include <cstdint>
+
+#include "rtv/base/hash.hpp"
+#include "rtv/ts/module.hpp"
+#include "rtv/verify/engine.hpp"
+
+namespace rtv {
+
+/// Fold one module's semantic content into `h` (see the header comment
+/// for the exact field list).
+void hash_module(Fnv1a& h, const Module& m);
+
+/// Standalone content hash of one module.
+std::uint64_t module_content_hash(const Module& m);
+
+/// Fold the budget-relevant request knobs into `h`: max_states,
+/// max_seconds, max_refinements, track_chokes.  Cancellation tokens,
+/// progress callbacks and jobs are execution details, never part of a key.
+void hash_budget(Fnv1a& h, const RunBudget& budget,
+                 std::size_t max_refinements, bool track_chokes);
+
+}  // namespace rtv

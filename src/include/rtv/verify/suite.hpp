@@ -31,6 +31,7 @@
 #include <string_view>
 #include <vector>
 
+#include "rtv/base/json.hpp"
 #include "rtv/ts/module.hpp"
 #include "rtv/verify/engine.hpp"
 #include "rtv/verify/property.hpp"
@@ -141,6 +142,12 @@ struct SuiteRecord {
   /// True iff this record decided the obligation's verdict: the first
   /// definitive finish in portfolio mode, any definitive verdict in batch.
   bool winner = false;
+  /// True iff the record was answered from a verdict cache instead of
+  /// being computed for this request (the `rtv serve` daemon sets it;
+  /// run_suite always computes, so it leaves the flag false).  seconds /
+  /// cpu_seconds then report the *original* computation, not this
+  /// request's O(1) lookup.
+  bool cached = false;
 };
 
 /// Per-obligation roll-up of a report's records.
@@ -183,8 +190,14 @@ struct SuiteReport {
 
 /// Parse a to_json() document back into a SuiteReport; throws
 /// std::runtime_error on malformed JSON, a wrong schema tag, or a schema
-/// version newer than this library understands.
+/// version newer than this library understands (the error names both the
+/// document's version and the newest supported one — the wire/cache layer
+/// depends on version mismatches failing loudly in both directions).
 SuiteReport parse_suite_report(const std::string& json);
+
+/// Same, from an already-parsed JSON value (e.g. a report object embedded
+/// in a larger wire message, see rtv/serve/wire.hpp).
+SuiteReport parse_suite_report(const json::Value& root);
 
 /// Map a verdict to the CLI/CI exit-code convention: 0 = verified,
 /// 1 = violated, 2 = inconclusive (64 is reserved for usage errors).

@@ -3,16 +3,15 @@
 #include <algorithm>
 #include <cassert>
 
+#include "rtv/base/hash.hpp"
+
 namespace rtv {
 
 std::size_t RefinedStateHash::operator()(const RefinedState& s) const noexcept {
   std::size_t h = std::hash<StateId>()(s.base);
-  for (std::uint32_t c : s.codes)
-    h ^= std::hash<std::uint32_t>()(c) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
-  for (std::uint16_t o : s.order)
-    h ^= std::hash<std::uint16_t>()(o) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
-  for (std::uint16_t g : s.gaps)
-    h ^= std::hash<std::uint16_t>()(g) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  for (std::uint32_t c : s.codes) h = hash_mix(h, c);
+  for (std::uint16_t o : s.order) h = hash_mix(h, o);
+  for (std::uint16_t g : s.gaps) h = hash_mix(h, g);
   return h;
 }
 

@@ -1,0 +1,118 @@
+#include "rtv/serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace rtv::serve {
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buf_(std::move(other.buf_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buf_ = std::move(other.buf_);
+  }
+  return *this;
+}
+
+void Client::connect(const std::string& socket_path) {
+  close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("rtv client: socket path too long: " +
+                             socket_path);
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0)
+    throw std::runtime_error("rtv client: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("rtv client: cannot connect to " + socket_path +
+                             ": " + std::strerror(err));
+  }
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buf_.clear();
+}
+
+ServeResponse Client::call(const ServeRequest& request) {
+  if (fd_ < 0) throw std::runtime_error("rtv client: not connected");
+
+  std::string line = request.to_json();
+  line += '\n';
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n =
+        ::send(fd_, line.data() + off, line.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      throw std::runtime_error("rtv client: write failed (daemon gone?)");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+
+  char chunk[4096];
+  for (;;) {
+    const std::size_t pos = buf_.find('\n');
+    if (pos != std::string::npos) {
+      const std::string reply = buf_.substr(0, pos);
+      buf_.erase(0, pos + 1);
+      return ServeResponse::parse(reply);
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0)
+      throw std::runtime_error(
+          "rtv client: connection closed before a response arrived");
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool Client::ping() {
+  ServeRequest req;
+  req.kind = RequestKind::kPing;
+  return call(req).ok;
+}
+
+ServeStats Client::get_stats() {
+  ServeRequest req;
+  req.kind = RequestKind::kStats;
+  ServeResponse resp = call(req);
+  if (!resp.ok)
+    throw std::runtime_error("rtv client: stats request failed: " +
+                             resp.error);
+  if (!resp.has_stats)
+    throw std::runtime_error("rtv client: stats response carries no stats");
+  return resp.stats;
+}
+
+void Client::request_shutdown() {
+  ServeRequest req;
+  req.kind = RequestKind::kShutdown;
+  ServeResponse resp = call(req);
+  if (!resp.ok)
+    throw std::runtime_error("rtv client: shutdown request failed: " +
+                             resp.error);
+}
+
+}  // namespace rtv::serve

@@ -1,0 +1,614 @@
+#include "rtv/serve/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "rtv/base/parallel.hpp"
+#include "rtv/verify/engine.hpp"
+
+namespace rtv::serve {
+
+namespace {
+
+/// Write the whole buffer, riding out partial writes; MSG_NOSIGNAL keeps a
+/// client that hung up from killing the daemon with SIGPIPE.
+bool send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && (errno == EINTR)) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Impl
+// ---------------------------------------------------------------------------
+
+struct Server::Impl {
+  /// One pending computation, keyed by its content hash; every client
+  /// asking the same question holds the same Job and waits on its cv.
+  struct Job {
+    CacheKey key;
+    WireObligation ob;  ///< modules are moved out when the batch builds
+    SuiteMode mode = SuiteMode::kBatch;
+    std::vector<std::string> engines;  ///< resolved selection
+    std::size_t max_states = 0;
+    double max_seconds = 0.0;
+    std::size_t max_refinements = 500;
+
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    bool failed = false;
+    std::string error;
+    CachedOutcome outcome;
+  };
+
+  explicit Impl(ServerOptions opts)
+      : options(std::move(opts)), cache(options.max_cache_entries) {
+    if (options.socket_path.empty())
+      throw std::runtime_error("rtv serve: socket path is required");
+    if (!options.cache_path.empty()) {
+      // A missing file is a cold start; anything unreadable or
+      // version-skewed refuses loudly — a stale cache must never be
+      // half-trusted.
+      std::ifstream probe(options.cache_path);
+      if (probe) {
+        probe.close();
+        cache.load(options.cache_path);
+        log_line("loaded " + std::to_string(cache.size()) +
+                 " cached verdict(s) from " + options.cache_path);
+      }
+    }
+    bind_and_listen();
+  }
+
+  ~Impl() { stop(); }
+
+  void log_line(const std::string& line) {
+    if (options.log) options.log(line);
+  }
+
+  void bind_and_listen() {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options.socket_path.size() >= sizeof(addr.sun_path))
+      throw std::runtime_error("rtv serve: socket path too long: " +
+                               options.socket_path);
+    std::memcpy(addr.sun_path, options.socket_path.c_str(),
+                options.socket_path.size() + 1);
+
+    listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd < 0)
+      throw std::runtime_error("rtv serve: socket() failed: " +
+                               std::string(std::strerror(errno)));
+    ::unlink(options.socket_path.c_str());
+    if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      const int err = errno;
+      ::close(listen_fd);
+      listen_fd = -1;
+      throw std::runtime_error("rtv serve: cannot bind " +
+                               options.socket_path + ": " +
+                               std::strerror(err));
+    }
+    if (::listen(listen_fd, 64) < 0) {
+      const int err = errno;
+      ::close(listen_fd);
+      listen_fd = -1;
+      throw std::runtime_error("rtv serve: listen() failed: " +
+                               std::string(std::strerror(err)));
+    }
+  }
+
+  // ---- lifecycle ----------------------------------------------------------
+
+  void start() {
+    started = true;
+    start_time = std::chrono::steady_clock::now();
+    scheduler = std::thread([this] { scheduler_loop(); });
+    acceptor = std::thread([this] { accept_loop(); });
+    log_line("listening on " + options.socket_path);
+  }
+
+  void stop() {
+    bool expected = false;
+    if (!stopping.compare_exchange_strong(expected, true)) {
+      join_all();
+      return;
+    }
+    // Abort any batch inside run_suite, then wake the scheduler so it
+    // fails the still-queued jobs and exits.
+    cancel.cancel();
+    {
+      std::lock_guard<std::mutex> lock(dispatch_mutex);
+      scheduler_cv.notify_all();
+    }
+    join_all();
+    if (listen_fd >= 0) {
+      ::close(listen_fd);
+      listen_fd = -1;
+      ::unlink(options.socket_path.c_str());
+    }
+    if (!options.cache_path.empty()) save_cache();
+    request_shutdown();  // release any wait_for() caller
+  }
+
+  void join_all() {
+    if (scheduler.joinable()) scheduler.join();
+    // Unblock connection threads stuck in recv().
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex);
+      for (int fd : conn_fds) ::shutdown(fd, SHUT_RDWR);
+    }
+    if (acceptor.joinable()) acceptor.join();
+    std::vector<std::thread> threads;
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex);
+      threads.swap(conn_threads);
+    }
+    for (std::thread& t : threads)
+      if (t.joinable()) t.join();
+  }
+
+  bool save_cache() {
+    if (options.cache_path.empty()) return false;
+    try {
+      cache.save(options.cache_path);
+      log_line("persisted " + std::to_string(cache.size()) +
+               " cached verdict(s) to " + options.cache_path);
+      return true;
+    } catch (const std::exception& e) {
+      log_line(std::string("cache save failed: ") + e.what());
+      return false;
+    }
+  }
+
+  void request_shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(shutdown_mutex);
+      shutdown_flag = true;
+    }
+    shutdown_cv.notify_all();
+  }
+
+  bool wait_for(double seconds) {
+    std::unique_lock<std::mutex> lock(shutdown_mutex);
+    shutdown_cv.wait_for(lock,
+                         std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::duration<double>(seconds)),
+                         [this] { return shutdown_flag; });
+    return shutdown_flag;
+  }
+
+  // ---- connection layer ---------------------------------------------------
+
+  void accept_loop() {
+    while (!stopping.load(std::memory_order_relaxed)) {
+      pollfd pfd{listen_fd, POLLIN, 0};
+      const int r = ::poll(&pfd, 1, 200);
+      if (r < 0 && errno != EINTR) break;
+      if (r <= 0 || !(pfd.revents & POLLIN)) continue;
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) continue;
+      std::lock_guard<std::mutex> lock(conn_mutex);
+      if (stopping.load(std::memory_order_relaxed)) {
+        ::close(fd);
+        return;
+      }
+      conn_fds.insert(fd);
+      conn_threads.emplace_back([this, fd] { connection_loop(fd); });
+    }
+  }
+
+  void connection_loop(int fd) {
+    std::string buf;
+    char chunk[4096];
+    while (!stopping.load(std::memory_order_relaxed)) {
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      buf.append(chunk, static_cast<std::size_t>(n));
+      std::size_t pos;
+      bool write_failed = false;
+      while ((pos = buf.find('\n')) != std::string::npos) {
+        std::string line = buf.substr(0, pos);
+        buf.erase(0, pos + 1);
+        if (line.empty()) continue;
+        std::string response = handle_line(line);
+        response += '\n';
+        if (!send_all(fd, response)) {
+          write_failed = true;
+          break;
+        }
+      }
+      if (write_failed) break;
+    }
+    ::close(fd);
+    std::lock_guard<std::mutex> lock(conn_mutex);
+    conn_fds.erase(fd);
+  }
+
+  // ---- protocol -----------------------------------------------------------
+
+  std::string handle_line(const std::string& line) {
+    requests.fetch_add(1, std::memory_order_relaxed);
+    ServeResponse resp;
+    try {
+      ServeRequest req = ServeRequest::parse(line);
+      switch (req.kind) {
+        case RequestKind::kPing:
+          resp.ok = true;
+          break;
+        case RequestKind::kStats:
+          resp.ok = true;
+          resp.has_stats = true;
+          resp.stats = stats();
+          break;
+        case RequestKind::kShutdown:
+          // Persist immediately, acknowledge, and flag the owner; the
+          // owning thread (CLI main / test) performs the actual stop() —
+          // a connection thread cannot join itself.
+          if (!options.cache_path.empty()) save_cache();
+          resp.ok = true;
+          request_shutdown();
+          break;
+        case RequestKind::kVerify:
+          return handle_verify(std::move(req));
+      }
+    } catch (const std::exception& e) {
+      errors.fetch_add(1, std::memory_order_relaxed);
+      resp.ok = false;
+      resp.error = e.what();
+    }
+    return resp.to_json();
+  }
+
+  /// Resolve the engine selection one obligation will actually run,
+  /// mirroring run_suite's defaults; throws std::runtime_error on an
+  /// unregistered name.
+  std::vector<std::string> resolve_engines(const ServeRequest& req,
+                                           const WireObligation& ob) {
+    std::vector<std::string> names;
+    if (req.mode == SuiteMode::kBatch && !ob.engine.empty())
+      names = {ob.engine};
+    else if (!req.engines.empty())
+      names = req.engines;
+    else if (req.mode == SuiteMode::kBatch)
+      names = {"refine"};
+    else
+      names = engine_registry().names();
+    for (const std::string& name : names)
+      if (!engine_registry().find(name))
+        throw std::runtime_error("unknown engine '" + name + "'");
+    return names;
+  }
+
+  std::string handle_verify(ServeRequest req) {
+    const auto t0 = std::chrono::steady_clock::now();
+
+    /// Where each requested obligation's rows come from: the cache, an
+    /// in-flight twin, or a job this request created.
+    struct Pending {
+      std::string name;
+      bool cached = false;  ///< answered without computing for this request
+      std::shared_ptr<Job> job;  ///< null when `outcome` is already final
+      CachedOutcome outcome;
+    };
+
+    ServeResponse resp;
+    std::vector<Pending> pending;
+    try {
+      if (req.obligations.empty())
+        throw std::runtime_error("verify request carries no obligations");
+      for (WireObligation& ob : req.obligations) {
+        Pending p;
+        p.name = ob.name;
+        const std::vector<std::string> engines = resolve_engines(req, ob);
+        const std::size_t eff_states =
+            ob.max_states ? ob.max_states : req.max_states;
+        const double eff_seconds =
+            ob.max_seconds > 0.0 ? ob.max_seconds : req.max_seconds;
+        const std::size_t eff_refinements =
+            ob.max_refinements ? ob.max_refinements : req.max_refinements;
+        const CacheKey key = obligation_cache_key(
+            ob, req.mode, engines, eff_states, eff_seconds, eff_refinements);
+        obligations.fetch_add(1, std::memory_order_relaxed);
+
+        std::lock_guard<std::mutex> lock(dispatch_mutex);
+        if (cache.get(key, &p.outcome)) {
+          p.cached = true;
+          cache_hits.fetch_add(1, std::memory_order_relaxed);
+        } else if (auto it = inflight.find(key); it != inflight.end()) {
+          p.cached = true;  // someone else is already computing it
+          p.job = it->second;
+          deduped.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          auto job = std::make_shared<Job>();
+          job->key = key;
+          job->ob = std::move(ob);
+          job->mode = req.mode;
+          job->engines = engines;
+          job->max_states = eff_states;
+          job->max_seconds = eff_seconds;
+          job->max_refinements = eff_refinements;
+          inflight.emplace(key, job);
+          queue.push_back(job);
+          computed.fetch_add(1, std::memory_order_relaxed);
+          scheduler_cv.notify_one();
+          p.job = job;
+        }
+        pending.push_back(std::move(p));
+      }
+
+      // Collect (outside the dispatch lock): every job fulfils exactly
+      // once, cancellation included.
+      for (Pending& p : pending) {
+        if (!p.job) continue;
+        std::unique_lock<std::mutex> lock(p.job->m);
+        p.job->cv.wait(lock, [&] { return p.job->done; });
+        if (p.job->failed)
+          throw std::runtime_error("obligation '" + p.name +
+                                   "': " + p.job->error);
+        p.outcome = p.job->outcome;
+      }
+    } catch (const std::exception& e) {
+      errors.fetch_add(1, std::memory_order_relaxed);
+      resp.ok = false;
+      resp.error = e.what();
+      return resp.to_json();
+    }
+
+    resp.ok = true;
+    resp.has_report = true;
+    resp.report.mode = req.mode;
+    resp.report.jobs = resolve_jobs(options.jobs);
+    for (const Pending& p : pending) {
+      for (const CachedRecord& r : p.outcome.records) {
+        SuiteRecord rec;
+        rec.obligation = p.name;
+        rec.engine = r.engine;
+        rec.result.verdict = r.verdict;
+        rec.result.message = r.message;
+        rec.result.trace_labels = r.trace_labels;
+        rec.result.states_explored = r.states_explored;
+        rec.result.seconds = r.seconds;
+        rec.result.truncated_reason = r.stop_reason;
+        rec.cpu_seconds = r.cpu_seconds;
+        rec.winner = r.winner;
+        rec.cached = p.cached;
+        resp.report.records.push_back(std::move(rec));
+      }
+    }
+    resp.report.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return resp.to_json();
+  }
+
+  // ---- compute layer ------------------------------------------------------
+
+  void scheduler_loop() {
+    for (;;) {
+      std::vector<std::shared_ptr<Job>> batch;
+      {
+        std::unique_lock<std::mutex> lock(dispatch_mutex);
+        scheduler_cv.wait(lock, [this] {
+          return stopping.load(std::memory_order_relaxed) || !queue.empty();
+        });
+        if (stopping.load(std::memory_order_relaxed)) {
+          // Fail whatever never ran so no client waits forever.
+          for (const auto& job : queue) {
+            inflight.erase(job->key);
+            fail_job(job, "server stopping");
+          }
+          queue.clear();
+          return;
+        }
+        // One run_suite call per group of adjacent jobs sharing
+        // (mode, engine selection) — batching across clients amortizes the
+        // pool spin-up and keeps one global jobs budget in charge.
+        const std::shared_ptr<Job> head = queue.front();
+        queue.pop_front();
+        batch.push_back(head);
+        for (auto it = queue.begin(); it != queue.end();) {
+          if ((*it)->mode == head->mode && (*it)->engines == head->engines) {
+            batch.push_back(*it);
+            it = queue.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+      run_batch(batch);
+    }
+  }
+
+  void run_batch(const std::vector<std::shared_ptr<Job>>& batch) {
+    Suite suite;
+    for (const auto& job : batch) {
+      std::vector<const Module*> mods;
+      for (Module& m : job->ob.modules) mods.push_back(suite.own(std::move(m)));
+      std::vector<const SafetyProperty*> props;
+      for (const PropertySpec& spec : job->ob.properties)
+        props.push_back(suite.own(spec.instantiate()));
+      Obligation& ob = suite.add(job->ob.name, std::move(mods), props);
+      ob.budget.max_states = job->max_states;
+      ob.budget.max_seconds = job->max_seconds;
+      ob.max_refinements = job->max_refinements;
+      ob.track_chokes = job->ob.track_chokes;
+    }
+
+    SuiteOptions opts;
+    opts.mode = batch.front()->mode;
+    opts.engines = batch.front()->engines;
+    opts.jobs = options.jobs;
+    opts.budget.cancel = &cancel;
+
+    SuiteReport report;
+    try {
+      report = run_suite(suite, opts);
+    } catch (const std::exception& e) {
+      std::lock_guard<std::mutex> lock(dispatch_mutex);
+      for (const auto& job : batch) {
+        inflight.erase(job->key);
+        fail_job(job, e.what());
+      }
+      return;
+    }
+
+    // Slice the obligation-major records back onto their jobs: every
+    // obligation produced exactly one record per selected engine.
+    const std::size_t per_job = batch.front()->engines.size();
+    std::size_t idx = 0;
+    for (const auto& job : batch) {
+      CachedOutcome outcome;
+      for (std::size_t k = 0; k < per_job && idx < report.records.size();
+           ++k, ++idx) {
+        const SuiteRecord& rec = report.records[idx];
+        CachedRecord r;
+        r.engine = rec.engine;
+        r.verdict = rec.result.verdict;
+        r.stop_reason = rec.result.truncated_reason;
+        r.message = rec.result.message;
+        r.trace_labels = rec.result.trace_labels;
+        r.states_explored = rec.result.states_explored;
+        r.seconds = rec.result.seconds;
+        r.cpu_seconds = rec.cpu_seconds;
+        r.winner = rec.winner;
+        outcome.records.push_back(std::move(r));
+      }
+      {
+        std::lock_guard<std::mutex> lock(dispatch_mutex);
+        if (cacheable(outcome)) cache.put(job->key, outcome);
+        inflight.erase(job->key);
+      }
+      {
+        std::lock_guard<std::mutex> lock(job->m);
+        job->outcome = std::move(outcome);
+        job->done = true;
+      }
+      job->cv.notify_all();
+    }
+  }
+
+  static void fail_job(const std::shared_ptr<Job>& job,
+                       const std::string& error) {
+    {
+      std::lock_guard<std::mutex> lock(job->m);
+      job->failed = true;
+      job->error = error;
+      job->done = true;
+    }
+    job->cv.notify_all();
+  }
+
+  // ---- stats --------------------------------------------------------------
+
+  ServeStats stats() const {
+    ServeStats s;
+    s.requests = requests.load(std::memory_order_relaxed);
+    s.obligations = obligations.load(std::memory_order_relaxed);
+    s.cache_hits = cache_hits.load(std::memory_order_relaxed);
+    s.deduped = deduped.load(std::memory_order_relaxed);
+    s.computed = computed.load(std::memory_order_relaxed);
+    s.errors = errors.load(std::memory_order_relaxed);
+    s.cache_entries = cache.size();
+    s.cache_evictions = cache.stats().evictions;
+    s.jobs = resolve_jobs(options.jobs);
+    if (started)
+      s.uptime_seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start_time)
+                             .count();
+    return s;
+  }
+
+  // ---- state --------------------------------------------------------------
+
+  ServerOptions options;
+  VerdictCache cache;
+  int listen_fd = -1;
+  bool started = false;
+  std::chrono::steady_clock::time_point start_time{};
+
+  std::atomic<bool> stopping{false};
+  CancelToken cancel;
+
+  std::thread acceptor;
+  std::thread scheduler;
+
+  std::mutex conn_mutex;
+  std::set<int> conn_fds;
+  std::vector<std::thread> conn_threads;
+
+  std::mutex dispatch_mutex;
+  std::condition_variable scheduler_cv;
+  std::deque<std::shared_ptr<Job>> queue;
+  std::unordered_map<CacheKey, std::shared_ptr<Job>, CacheKeyHash> inflight;
+
+  std::mutex shutdown_mutex;
+  std::condition_variable shutdown_cv;
+  bool shutdown_flag = false;
+
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> obligations{0};
+  std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> deduped{0};
+  std::atomic<std::uint64_t> computed{0};
+  std::atomic<std::uint64_t> errors{0};
+};
+
+// ---------------------------------------------------------------------------
+// Public surface
+// ---------------------------------------------------------------------------
+
+Server::Server(ServerOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+Server::~Server() {
+  if (impl_) impl_->stop();
+}
+
+void Server::start() { impl_->start(); }
+bool Server::wait_for(double seconds) { return impl_->wait_for(seconds); }
+
+bool Server::shutdown_requested() const {
+  std::lock_guard<std::mutex> lock(impl_->shutdown_mutex);
+  return impl_->shutdown_flag;
+}
+
+void Server::stop() { impl_->stop(); }
+bool Server::save_cache() { return impl_->save_cache(); }
+
+const std::string& Server::socket_path() const {
+  return impl_->options.socket_path;
+}
+
+ServeStats Server::stats() const { return impl_->stats(); }
+VerdictCache& Server::cache() { return impl_->cache; }
+
+}  // namespace rtv::serve

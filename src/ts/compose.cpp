@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "rtv/base/hash.hpp"
 #include "rtv/base/log.hpp"
 #include "rtv/base/parallel.hpp"
 
@@ -18,8 +19,7 @@ namespace {
 struct TupleHash {
   std::size_t operator()(const std::vector<StateId>& v) const noexcept {
     std::size_t h = v.size();
-    for (StateId s : v)
-      h ^= std::hash<StateId>()(s) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    for (StateId s : v) h = hash_mix(h, std::hash<StateId>()(s));
     return h;
   }
 };

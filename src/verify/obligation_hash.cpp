@@ -1,0 +1,57 @@
+#include "rtv/verify/obligation_hash.hpp"
+
+#include "rtv/ts/transition_system.hpp"
+
+namespace rtv {
+
+void hash_module(Fnv1a& h, const Module& m) {
+  const TransitionSystem& ts = m.ts();
+  h.str("module");
+  h.u64(ts.num_states());
+  h.u64(ts.num_events());
+  h.u64(ts.initial().valid() ? ts.initial().value() : ~std::uint64_t{0});
+
+  for (std::size_t e = 0; e < ts.num_events(); ++e) {
+    const Event& ev = ts.event(EventId(static_cast<std::uint32_t>(e)));
+    h.str(ev.label);
+    h.i64(ev.delay.lo());
+    h.i64(ev.delay.hi());
+    h.str(to_string(ev.kind));
+  }
+
+  for (std::size_t s = 0; s < ts.num_states(); ++s) {
+    const StateId sid(static_cast<std::uint32_t>(s));
+    const auto out = ts.transitions_from(sid);
+    h.u64(out.size());
+    for (const Transition& t : out) {
+      h.u32(t.event.value());
+      h.u32(t.target.value());
+    }
+  }
+
+  const auto& signals = ts.signal_names();
+  h.u64(signals.size());
+  for (const std::string& name : signals) h.str(name);
+  h.boolean(ts.has_valuations());
+  if (ts.has_valuations()) {
+    for (std::size_t s = 0; s < ts.num_states(); ++s)
+      h.str(ts.valuation(StateId(static_cast<std::uint32_t>(s))).to_string());
+  }
+}
+
+std::uint64_t module_content_hash(const Module& m) {
+  Fnv1a h;
+  hash_module(h, m);
+  return h.digest();
+}
+
+void hash_budget(Fnv1a& h, const RunBudget& budget,
+                 std::size_t max_refinements, bool track_chokes) {
+  h.str("budget");
+  h.u64(budget.max_states);
+  h.f64(budget.max_seconds);
+  h.u64(max_refinements);
+  h.boolean(track_chokes);
+}
+
+}  // namespace rtv

@@ -336,6 +336,8 @@ std::string SuiteReport::to_json() const {
     append_double(out, r.cpu_seconds);
     out += ",\n      \"winner\": ";
     out += r.winner ? "true" : "false";
+    out += ",\n      \"cached\": ";
+    out += r.cached ? "true" : "false";
     out += ",\n      \"message\": ";
     append_string(out, r.result.message);
     out += ",\n      \"trace\": [";
@@ -374,7 +376,10 @@ Verdict verdict_from_string(const std::string& s) {
 }  // namespace
 
 SuiteReport parse_suite_report(const std::string& json) {
-  const json::Value root = json::parse(json, kJsonContext);
+  return parse_suite_report(json::parse(json, kJsonContext));
+}
+
+SuiteReport parse_suite_report(const json::Value& root) {
   if (root.kind != json::Value::Kind::kObject)
     throw std::runtime_error("suite report JSON: root is not an object");
 
@@ -384,8 +389,16 @@ SuiteReport parse_suite_report(const std::string& json) {
     throw std::runtime_error("suite report JSON: wrong schema tag");
   const int version = static_cast<int>(
       require(root, "schema_version", Kind::kNumber, "schema version").number);
-  if (version < 1 || version > SuiteReport::kSchemaVersion)
-    throw std::runtime_error("suite report JSON: unsupported schema version " +
+  // Strict in both directions: a report written by a *newer* library must
+  // not be best-effort parsed — the verdict cache and the serve wire
+  // protocol rely on version skew failing loudly, naming both versions.
+  if (version > SuiteReport::kSchemaVersion)
+    throw std::runtime_error(
+        "suite report JSON: schema version " + std::to_string(version) +
+        " is newer than this library supports (max " +
+        std::to_string(SuiteReport::kSchemaVersion) + ")");
+  if (version < 1)
+    throw std::runtime_error("suite report JSON: invalid schema version " +
                              std::to_string(version));
 
   SuiteReport report;
@@ -421,6 +434,14 @@ SuiteReport parse_suite_report(const std::string& json) {
     out.cpu_seconds =
         require(rec, "cpu_seconds", Kind::kNumber, "cpu seconds").number;
     out.winner = require(rec, "winner", Kind::kBool, "winner flag").boolean;
+    // Absent in reports written before the serve layer existed; those
+    // records were always computed, so the default false is exact.
+    if (const json::Value* cached = rec.find("cached")) {
+      if (cached->kind != Kind::kBool)
+        throw std::runtime_error(
+            "suite report JSON: cached flag is not a boolean");
+      out.cached = cached->boolean;
+    }
     out.result.message =
         require(rec, "message", Kind::kString, "message").string;
     for (const json::Value& label :

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "rtv/base/hash.hpp"
 #include "rtv/base/log.hpp"
 #include "rtv/base/parallel.hpp"
 
@@ -33,8 +34,7 @@ struct Config {
 struct ConfigHash {
   std::size_t operator()(const Config& c) const noexcept {
     std::size_t h = std::hash<StateId>()(c.state);
-    for (const Time a : c.ages)
-      h ^= std::hash<Time>()(a) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    for (const Time a : c.ages) h = hash_mix(h, std::hash<Time>()(a));
     return h;
   }
 };

@@ -1,0 +1,360 @@
+// The `rtv serve` daemon end to end, over real Unix-domain sockets: the
+// protocol, cold/warm cache behaviour, incremental re-verification,
+// in-flight deduplication under concurrent clients, budget-key soundness
+// and restart persistence.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rtv/serve/client.hpp"
+#include "rtv/serve/server.hpp"
+#include "rtv/ts/gallery.hpp"
+#include "rtv/verify/engine.hpp"
+
+using namespace rtv;
+using namespace rtv::serve;
+
+namespace {
+
+/// Per-test unique socket path (tests may run in parallel processes).
+std::string unique_socket() {
+  static std::atomic<int> counter{0};
+  return "/tmp/rtv-test-serve-" + std::to_string(::getpid()) + "-" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const char* tag)
+      : path("/tmp/rtv-test-serve-" + std::to_string(::getpid()) + "-" + tag +
+             ".json") {
+    std::remove(path.c_str());
+  }
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+/// The Fig. 1 gallery obligation: intro system + "g before d" order
+/// monitor, invariant !fail — kVerified in every timed run.
+WireObligation intro_obligation(const std::string& name = "intro") {
+  WireObligation ob;
+  ob.name = name;
+  ob.modules.push_back(gallery::intro_example());
+  ob.modules.push_back(gallery::order_monitor("g", "d"));
+  ob.properties.push_back(
+      PropertySpec::invariant("g before d", {{"fail", true}}));
+  return ob;
+}
+
+ServeRequest verify_request(std::vector<WireObligation> obs) {
+  ServeRequest req;
+  req.kind = RequestKind::kVerify;
+  req.obligations = std::move(obs);
+  return req;
+}
+
+std::unique_ptr<Server> start_server(const std::string& socket,
+                                     const std::string& cache_path = "",
+                                     std::size_t max_cache_entries = 4096) {
+  ServerOptions opts;
+  opts.socket_path = socket;
+  opts.cache_path = cache_path;
+  opts.jobs = 2;
+  opts.max_cache_entries = max_cache_entries;
+  auto server = std::make_unique<Server>(std::move(opts));
+  server->start();
+  return server;
+}
+
+/// A counting engine: wraps "refine" and counts run() invocations, so the
+/// dedup test can prove N concurrent identical requests -> 1 computation.
+class CountingEngine final : public Engine {
+ public:
+  static std::atomic<int>& runs() {
+    static std::atomic<int> count{0};
+    return count;
+  }
+  std::string_view name() const override { return "counting"; }
+  std::string_view description() const override {
+    return "test engine counting run() calls";
+  }
+  EngineResult run(const EngineRequest& request) const override {
+    runs().fetch_add(1);
+    // Linger so every concurrent client arrives while the job is still
+    // in flight (the window the dedup map must cover).
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    return engine_registry().find("refine")->run(request);
+  }
+};
+
+}  // namespace
+
+TEST(ServeProtocol, PingStatsAndUnknownEngineError) {
+  const std::string socket = unique_socket();
+  auto server = start_server(socket);
+
+  Client client;
+  client.connect(socket);
+  EXPECT_TRUE(client.ping());
+
+  ServeRequest bad = verify_request({intro_obligation()});
+  bad.engines = {"no-such-engine"};
+  const ServeResponse resp = client.call(bad);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_NE(resp.error.find("no-such-engine"), std::string::npos);
+
+  // An empty verify request is a protocol error, not a crash.
+  EXPECT_FALSE(client.call(verify_request({})).ok);
+
+  const ServeStats stats = client.get_stats();
+  EXPECT_EQ(stats.requests, 4u);  // ping + 2 failed verifies + this stats
+  EXPECT_EQ(stats.errors, 2u);
+  EXPECT_EQ(stats.jobs, 2u);
+  server->stop();
+}
+
+TEST(ServeVerify, ColdMissThenWarmHitSameVerdict) {
+  const std::string socket = unique_socket();
+  auto server = start_server(socket);
+  Client client;
+  client.connect(socket);
+
+  const ServeResponse cold = client.call(verify_request({intro_obligation()}));
+  ASSERT_TRUE(cold.ok) << cold.error;
+  ASSERT_TRUE(cold.has_report);
+  ASSERT_EQ(cold.report.records.size(), 1u);
+  EXPECT_EQ(cold.report.records[0].obligation, "intro");
+  EXPECT_EQ(cold.report.records[0].engine, "refine");
+  EXPECT_EQ(cold.report.records[0].result.verdict, Verdict::kVerified);
+  EXPECT_FALSE(cold.report.records[0].cached);
+
+  const ServeResponse warm = client.call(verify_request({intro_obligation()}));
+  ASSERT_TRUE(warm.ok);
+  ASSERT_EQ(warm.report.records.size(), 1u);
+  EXPECT_TRUE(warm.report.records[0].cached);
+  EXPECT_EQ(warm.report.records[0].result.verdict, Verdict::kVerified);
+
+  // A renamed obligation is the same content: still a hit.
+  const ServeResponse renamed =
+      client.call(verify_request({intro_obligation("other-name")}));
+  ASSERT_TRUE(renamed.ok);
+  EXPECT_TRUE(renamed.report.records[0].cached);
+  EXPECT_EQ(renamed.report.records[0].obligation, "other-name");
+
+  const ServeStats stats = client.get_stats();
+  EXPECT_EQ(stats.computed, 1u);
+  EXPECT_EQ(stats.cache_hits, 2u);
+  server->stop();
+}
+
+TEST(ServeVerify, IncrementalReverificationRecomputesOnlyChangedHashes) {
+  const std::string socket = unique_socket();
+  auto server = start_server(socket);
+  Client client;
+  client.connect(socket);
+
+  const DelayInterval d12 = DelayInterval::units(1, 2);
+  WireObligation stable;
+  stable.name = "stable";
+  stable.modules.push_back(gallery::diamond("x", d12, "y", d12));
+  stable.properties.push_back(PropertySpec::deadlock());
+  WireObligation edited = intro_obligation("edited");
+
+  const ServeResponse first = client.call(verify_request({stable, edited}));
+  ASSERT_TRUE(first.ok) << first.error;
+  ASSERT_EQ(first.report.records.size(), 2u);
+  EXPECT_FALSE(first.report.records[0].cached);
+  EXPECT_FALSE(first.report.records[1].cached);
+
+  // Edit one obligation's content (a delay bound); resubmit the suite.
+  edited.modules.front().ts().set_event_delay(
+      EventId{0}, DelayInterval::units(1.0, 2.75));
+  const ServeResponse second = client.call(verify_request({stable, edited}));
+  ASSERT_TRUE(second.ok) << second.error;
+  ASSERT_EQ(second.report.records.size(), 2u);
+  // Only the edited obligation recomputed; records stay request-ordered.
+  EXPECT_EQ(second.report.records[0].obligation, "stable");
+  EXPECT_TRUE(second.report.records[0].cached);
+  EXPECT_EQ(second.report.records[1].obligation, "edited");
+  EXPECT_FALSE(second.report.records[1].cached);
+
+  const ServeStats stats = client.get_stats();
+  EXPECT_EQ(stats.computed, 3u);  // 2 cold + 1 re-verified
+  EXPECT_EQ(stats.cache_hits, 1u);
+  server->stop();
+}
+
+// Regression: a budget change must be a cache miss — a verdict computed
+// under max_states=N must never answer a request with a different budget.
+TEST(ServeVerify, BudgetChangeMissesTheCache) {
+  const std::string socket = unique_socket();
+  auto server = start_server(socket);
+  Client client;
+  client.connect(socket);
+
+  ServeRequest small = verify_request({intro_obligation()});
+  small.max_states = 100000;
+  ASSERT_TRUE(client.call(small).ok);
+
+  ServeRequest larger = verify_request({intro_obligation()});
+  larger.max_states = 200000;
+  const ServeResponse resp = client.call(larger);
+  ASSERT_TRUE(resp.ok);
+  EXPECT_FALSE(resp.report.records[0].cached);
+
+  ServeRequest timed = verify_request({intro_obligation()});
+  timed.max_states = 200000;
+  timed.max_seconds = 30.0;
+  EXPECT_FALSE(client.call(timed).report.records[0].cached);
+
+  // Same budget spelled per-obligation inherits identically: a hit.
+  ServeRequest inherited = verify_request({intro_obligation()});
+  inherited.obligations[0].max_states = 200000;
+  inherited.obligations[0].max_seconds = 30.0;
+  EXPECT_TRUE(client.call(inherited).report.records[0].cached);
+
+  const ServeStats stats = client.get_stats();
+  EXPECT_EQ(stats.computed, 3u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  server->stop();
+}
+
+TEST(ServeDedup, ConcurrentIdenticalRequestsComputeOnce) {
+  static bool registered = [] {
+    register_engine(std::make_unique<CountingEngine>());
+    return true;
+  }();
+  (void)registered;
+  CountingEngine::runs().store(0);
+
+  const std::string socket = unique_socket();
+  auto server = start_server(socket);
+
+  constexpr int kClients = 8;
+  std::atomic<int> ok_count{0};
+  std::atomic<int> computed_count{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&] {
+      Client client;
+      client.connect(socket);
+      ServeRequest req = verify_request({intro_obligation()});
+      req.engines = {"counting"};
+      const ServeResponse resp = client.call(req);
+      if (resp.ok && resp.has_report && resp.report.records.size() == 1 &&
+          resp.report.records[0].result.verdict == Verdict::kVerified)
+        ok_count.fetch_add(1);
+      // Exactly one requester is the computation's creator
+      // (cached == false); attachers and late hits see cached == true.
+      if (resp.ok && !resp.report.records[0].cached)
+        computed_count.fetch_add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(ok_count.load(), kClients);
+  EXPECT_EQ(computed_count.load(), 1);
+  // The engine itself ran exactly once: N clients -> 1 computation.
+  EXPECT_EQ(CountingEngine::runs().load(), 1);
+
+  const ServeStats stats = server->stats();
+  EXPECT_EQ(stats.computed, 1u);
+  EXPECT_EQ(stats.deduped + stats.cache_hits,
+            static_cast<std::uint64_t>(kClients - 1));
+  server->stop();
+}
+
+TEST(ServePersistence, CacheSurvivesDaemonRestart) {
+  const std::string socket = unique_socket();
+  TempFile cache_file("restart");
+
+  {
+    auto server = start_server(socket, cache_file.path);
+    Client client;
+    client.connect(socket);
+    const ServeResponse resp =
+        client.call(verify_request({intro_obligation()}));
+    ASSERT_TRUE(resp.ok) << resp.error;
+    EXPECT_FALSE(resp.report.records[0].cached);
+    server->stop();  // persists the cache
+  }
+
+  {
+    auto server = start_server(socket, cache_file.path);
+    Client client;
+    client.connect(socket);
+    const ServeResponse resp =
+        client.call(verify_request({intro_obligation()}));
+    ASSERT_TRUE(resp.ok) << resp.error;
+    EXPECT_TRUE(resp.report.records[0].cached);
+    EXPECT_EQ(resp.report.records[0].result.verdict, Verdict::kVerified);
+    const ServeStats stats = server->stats();
+    EXPECT_EQ(stats.computed, 0u);
+    EXPECT_EQ(stats.cache_hits, 1u);
+    server->stop();
+  }
+}
+
+TEST(ServePersistence, CorruptCacheFileRefusesToStart) {
+  const std::string socket = unique_socket();
+  TempFile cache_file("corrupt");
+  {
+    std::FILE* f = std::fopen(cache_file.path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"schema\":\"rtv-verdict-cache\",\"schema_version\":99,"
+               "\"entries\":[]}",
+               f);
+    std::fclose(f);
+  }
+  ServerOptions opts;
+  opts.socket_path = socket;
+  opts.cache_path = cache_file.path;
+  EXPECT_THROW(Server{std::move(opts)}, std::runtime_error);
+}
+
+TEST(ServeShutdown, ClientRequestFlagsTheOwner) {
+  const std::string socket = unique_socket();
+  auto server = start_server(socket);
+  EXPECT_FALSE(server->shutdown_requested());
+
+  Client client;
+  client.connect(socket);
+  client.request_shutdown();
+  EXPECT_TRUE(server->wait_for(5.0));
+  EXPECT_TRUE(server->shutdown_requested());
+  server->stop();
+
+  // The socket file is gone after stop().
+  Client late;
+  EXPECT_THROW(late.connect(socket), std::runtime_error);
+}
+
+TEST(ServeVerify, PortfolioModeRecordsAllEnginesAndCaches) {
+  const std::string socket = unique_socket();
+  auto server = start_server(socket);
+  Client client;
+  client.connect(socket);
+
+  ServeRequest req = verify_request({intro_obligation()});
+  req.mode = SuiteMode::kPortfolio;
+  req.engines = {"refine", "zone"};
+  const ServeResponse cold = client.call(req);
+  ASSERT_TRUE(cold.ok) << cold.error;
+  ASSERT_EQ(cold.report.records.size(), 2u);
+  EXPECT_EQ(cold.report.mode, SuiteMode::kPortfolio);
+
+  const ServeResponse warm = client.call(req);
+  ASSERT_TRUE(warm.ok);
+  ASSERT_EQ(warm.report.records.size(), 2u);
+  for (const SuiteRecord& rec : warm.report.records)
+    EXPECT_TRUE(rec.cached);
+  // The cached replay preserves which engine decided.
+  EXPECT_EQ(warm.report.overall(), cold.report.overall());
+  server->stop();
+}

@@ -382,6 +382,59 @@ TEST(SuiteReportJson, RejectsCorruptedDocuments) {
   EXPECT_THROW(parse_suite_report(future), std::runtime_error);
 }
 
+TEST(SuiteReportJson, NewerSchemaVersionErrorNamesBothVersions) {
+  Suite suite;
+  add_intro_obligation(suite, "intro");
+  std::string future = run_suite(suite).to_json();
+  future.replace(future.find("\"schema_version\": 1"), 19,
+                 "\"schema_version\": 99");
+  try {
+    parse_suite_report(future);
+    FAIL() << "expected a schema-version rejection";
+  } catch (const std::runtime_error& e) {
+    // The wire/cache layer depends on skew being diagnosable from the
+    // message alone: it must name the document's version AND the max
+    // supported one.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("99"), std::string::npos) << what;
+    EXPECT_NE(what.find(std::to_string(SuiteReport::kSchemaVersion)),
+              std::string::npos)
+        << what;
+  }
+}
+
+TEST(SuiteReportJson, CachedFlagRoundTripsAndDefaultsFalse) {
+  SuiteReport report;
+  SuiteRecord rec;
+  rec.obligation = "ob";
+  rec.engine = "refine";
+  rec.result.verdict = Verdict::kVerified;
+  rec.winner = true;
+  rec.cached = true;
+  report.records.push_back(rec);
+  rec.cached = false;
+  report.records.push_back(rec);
+
+  const std::string json = report.to_json();
+  const SuiteReport parsed = parse_suite_report(json);
+  ASSERT_EQ(parsed.records.size(), 2u);
+  EXPECT_TRUE(parsed.records[0].cached);
+  EXPECT_FALSE(parsed.records[1].cached);
+
+  // Reports written before the marker existed parse with cached == false.
+  std::string old = json;
+  std::size_t pos;
+  while ((pos = old.find(",\n      \"cached\": true")) != std::string::npos)
+    old.erase(pos, std::string(",\n      \"cached\": true").size());
+  while ((pos = old.find(",\n      \"cached\": false")) != std::string::npos)
+    old.erase(pos, std::string(",\n      \"cached\": false").size());
+  ASSERT_EQ(old.find("cached"), std::string::npos) << old;
+  const SuiteReport legacy = parse_suite_report(old);
+  ASSERT_EQ(legacy.records.size(), 2u);
+  EXPECT_FALSE(legacy.records[0].cached);
+  EXPECT_FALSE(legacy.records[1].cached);
+}
+
 TEST(SuiteReportApi, ExitCodeMapping) {
   EXPECT_EQ(exit_code(Verdict::kVerified), 0);
   EXPECT_EQ(exit_code(Verdict::kViolated), 1);

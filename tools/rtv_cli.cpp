@@ -19,6 +19,15 @@
 //                              runs through all selected engines; exit 1 iff a
 //                              disagreement / bad trace / engine error is found)
 //   rtv ipcmos                 [--engine NAME] [--jobs N] [--json F]
+//   rtv serve                  --socket PATH [--cache F] [--jobs N]
+//                              [--max-cache-entries N]
+//                              (persistent verification daemon with a
+//                              content-addressed verdict cache; stop it with
+//                              `rtv client --shutdown`, SIGINT or SIGTERM)
+//   rtv client   a.g b.g ...   --socket PATH [--engines NAME,NAME] [--portfolio]
+//                              [--timeout S] [--max-states N] [--max-ref N]
+//                              [--no-deadlock] [--no-persistency] [--json F]
+//   rtv client                 --socket PATH (--ping | --stats | --shutdown)
 //   rtv simulate a.g b.g ...   [--events N] [--seed S] [--vcd out.vcd] [--signals s1,s2]
 //   rtv dot      a.g           (marking graph as graphviz)
 //   rtv minimize a.g           (bisimulation quotient statistics)
@@ -32,6 +41,7 @@
 //   0 = verified, 1 = violated, 2 = inconclusive,
 //   64 = usage error (bad flags, unknown engine, no input),
 //   70 = runtime failure (unreadable input, I/O error).
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -42,6 +52,8 @@
 
 #include "rtv/fuzz/campaign.hpp"
 #include "rtv/ipcmos/experiments.hpp"
+#include "rtv/serve/client.hpp"
+#include "rtv/serve/server.hpp"
 #include "rtv/sim/simulator.hpp"
 #include "rtv/sim/waveform.hpp"
 #include "rtv/stg/astg.hpp"
@@ -81,6 +93,12 @@ int usage() {
       "                           [--max-states N] [--timeout S] [--no-minimize]\n"
       "                           [--replay] [--json FILE]\n"
       "  rtv ipcmos               [--engine NAME[,NAME...]] [--jobs N] [--json FILE]\n"
+      "  rtv serve                --socket PATH [--cache FILE] [--jobs N]\n"
+      "                           [--max-cache-entries N]\n"
+      "  rtv client    <stg.g>... --socket PATH [--engines NAME,NAME...] [--portfolio]\n"
+      "                           [--timeout S] [--max-states N] [--max-ref N]\n"
+      "                           [--no-deadlock] [--no-persistency] [--json FILE]\n"
+      "  rtv client               --socket PATH (--ping | --stats | --shutdown)\n"
       "  rtv simulate  <stg.g>... [--events N] [--seed S] [--vcd FILE] [--signals a,b]\n"
       "  rtv dot       <stg.g>\n"
       "  rtv minimize  <stg.g>\n"
@@ -411,6 +429,134 @@ int cmd_ipcmos(const VerifyCliOptions& cli) {
 }
 
 // ---------------------------------------------------------------------------
+// serve / client — the persistent verification service (rtv/serve/)
+// ---------------------------------------------------------------------------
+
+struct ServeCliOptions {
+  std::string socket_path;
+  std::string cache_path;
+  std::size_t max_cache_entries = 4096;
+  bool portfolio = false;
+  bool ping = false;
+  bool stats = false;
+  bool shutdown = false;
+};
+
+volatile std::sig_atomic_t g_stop_signal = 0;
+void on_stop_signal(int) { g_stop_signal = 1; }
+
+int cmd_serve(const ServeCliOptions& scli, const VerifyCliOptions& cli) {
+  if (scli.socket_path.empty()) {
+    std::fprintf(stderr, "serve requires --socket PATH\n");
+    return kExitUsage;
+  }
+  serve::ServerOptions opts;
+  opts.socket_path = scli.socket_path;
+  opts.cache_path = scli.cache_path;
+  opts.jobs = cli.jobs;
+  opts.max_cache_entries = scli.max_cache_entries;
+  opts.log = [](const std::string& line) {
+    std::fprintf(stderr, "rtv serve: %s\n", line.c_str());
+  };
+  serve::Server server(opts);
+  std::signal(SIGINT, on_stop_signal);
+  std::signal(SIGTERM, on_stop_signal);
+  server.start();
+  while (!server.wait_for(0.25) && !g_stop_signal) {
+  }
+  server.stop();
+  const serve::ServeStats s = server.stats();
+  std::fprintf(stderr,
+               "rtv serve: stopped after %.1f s — %llu request(s), "
+               "%llu obligation(s): %llu cache hit(s), %llu deduped, "
+               "%llu computed\n",
+               s.uptime_seconds, static_cast<unsigned long long>(s.requests),
+               static_cast<unsigned long long>(s.obligations),
+               static_cast<unsigned long long>(s.cache_hits),
+               static_cast<unsigned long long>(s.deduped),
+               static_cast<unsigned long long>(s.computed));
+  return 0;
+}
+
+int cmd_client(const std::vector<std::string>& files,
+               const ServeCliOptions& scli, const VerifyCliOptions& cli) {
+  if (scli.socket_path.empty()) {
+    std::fprintf(stderr, "client requires --socket PATH\n");
+    return kExitUsage;
+  }
+  serve::Client client;
+  client.connect(scli.socket_path);
+
+  if (scli.ping) {
+    const bool ok = client.ping();
+    std::printf("%s\n", ok ? "pong" : "ping failed");
+    return ok ? 0 : kExitRuntime;
+  }
+  if (scli.stats) {
+    const serve::ServeStats s = client.get_stats();
+    std::printf("uptime:          %.1f s\n", s.uptime_seconds);
+    std::printf("jobs:            %llu\n",
+                static_cast<unsigned long long>(s.jobs));
+    std::printf("requests:        %llu\n",
+                static_cast<unsigned long long>(s.requests));
+    std::printf("obligations:     %llu\n",
+                static_cast<unsigned long long>(s.obligations));
+    std::printf("cache hits:      %llu\n",
+                static_cast<unsigned long long>(s.cache_hits));
+    std::printf("deduped:         %llu\n",
+                static_cast<unsigned long long>(s.deduped));
+    std::printf("computed:        %llu\n",
+                static_cast<unsigned long long>(s.computed));
+    std::printf("errors:          %llu\n",
+                static_cast<unsigned long long>(s.errors));
+    std::printf("cache entries:   %llu\n",
+                static_cast<unsigned long long>(s.cache_entries));
+    std::printf("cache evictions: %llu\n",
+                static_cast<unsigned long long>(s.cache_evictions));
+    return 0;
+  }
+  if (scli.shutdown) {
+    client.request_shutdown();
+    std::printf("shutdown requested\n");
+    return 0;
+  }
+
+  if (files.empty()) return usage();
+  serve::ServeRequest req;
+  req.kind = serve::RequestKind::kVerify;
+  req.mode = scli.portfolio ? SuiteMode::kPortfolio : SuiteMode::kBatch;
+  req.engines = cli.engines;
+  req.max_states = cli.max_states;
+  req.max_seconds = cli.timeout_seconds;
+  req.max_refinements = cli.max_ref;
+  for (const std::string& f : files) {
+    serve::WireObligation ob;
+    ob.name = f;
+    ob.modules.push_back(elaborate(load(f)));
+    if (cli.deadlock) ob.properties.push_back(serve::PropertySpec::deadlock());
+    if (cli.persistency)
+      ob.properties.push_back(serve::PropertySpec::persistency());
+    req.obligations.push_back(std::move(ob));
+  }
+
+  const serve::ServeResponse resp = client.call(req);
+  if (!resp.ok) {
+    std::fprintf(stderr, "error from daemon: %s\n", resp.error.c_str());
+    return kExitRuntime;
+  }
+  if (!resp.has_report) {
+    std::fprintf(stderr, "error: verify response carries no report\n");
+    return kExitRuntime;
+  }
+  std::size_t hits = 0;
+  for (const SuiteRecord& rec : resp.report.records)
+    if (rec.cached) ++hits;
+  std::fprintf(stderr, "%zu of %zu record(s) served from cache\n", hits,
+               resp.report.records.size());
+  return finish_suite(resp.report, cli);
+}
+
+// ---------------------------------------------------------------------------
 // fuzz — the differential campaign (rtv/fuzz/campaign.hpp)
 // ---------------------------------------------------------------------------
 
@@ -483,6 +629,7 @@ int main(int argc, char** argv) {
   fuzz_opt.jobs = 0;  // CLI default: one worker per hardware thread
   bool fuzz_replay = false;
   bool fuzz_cases_set = false;
+  ServeCliOptions serve_opt;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -552,6 +699,20 @@ int main(int argc, char** argv) {
       fuzz_opt.minimize = false;
     } else if (arg == "--replay") {
       fuzz_replay = true;
+    } else if (arg == "--socket") {
+      serve_opt.socket_path = next();
+    } else if (arg == "--cache") {
+      serve_opt.cache_path = next();
+    } else if (arg == "--max-cache-entries") {
+      serve_opt.max_cache_entries = parse_size(arg, next());
+    } else if (arg == "--portfolio") {
+      serve_opt.portfolio = true;
+    } else if (arg == "--ping") {
+      serve_opt.ping = true;
+    } else if (arg == "--stats") {
+      serve_opt.stats = true;
+    } else if (arg == "--shutdown") {
+      serve_opt.shutdown = true;
     } else if (arg == "--vcd") {
       vcd = next();
     } else if (arg == "--signals") {
@@ -583,6 +744,8 @@ int main(int argc, char** argv) {
     if (cmd == "dot" && files.size() == 1) return cmd_dot(files[0]);
     if (cmd == "minimize" && files.size() == 1) return cmd_minimize(files[0]);
     if (cmd == "ipcmos") return cmd_ipcmos(vopts);
+    if (cmd == "serve" && files.empty()) return cmd_serve(serve_opt, vopts);
+    if (cmd == "client") return cmd_client(files, serve_opt, vopts);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return kExitRuntime;
