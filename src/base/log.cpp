@@ -1,12 +1,14 @@
 #include "rtv/base/log.hpp"
 
-#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <ctime>
+
+#include "rtv/obs/metrics.hpp"
 
 namespace rtv {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -23,15 +25,28 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+// Monotonic epoch anchored at the first log line (close enough to process
+// start for uptime stamps, and immune to wall-clock steps).
+std::uint64_t monotonic_epoch_ns() {
+  static const std::uint64_t epoch = obs::monotonic_ns();
+  return epoch;
+}
+
 }  // namespace
-
-void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
-
-LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
-  std::fprintf(stderr, "[rtv %s] %s\n", level_name(level), message.c_str());
+  const double up =
+      static_cast<double>(obs::monotonic_ns() - monotonic_epoch_ns()) * 1e-9;
+  const std::time_t wall = std::chrono::system_clock::to_time_t(
+      std::chrono::system_clock::now());
+  std::tm tm{};
+  gmtime_r(&wall, &tm);
+  char stamp[32];
+  std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  std::fprintf(stderr, "[rtv %s +%.3fs %s t%02u] %s\n", level_name(level), up,
+               stamp, obs::thread_index(), message.c_str());
 }
 
 }  // namespace rtv

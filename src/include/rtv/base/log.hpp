@@ -3,8 +3,15 @@
 // The refinement engine logs one line per iteration at Info level; detailed
 // trace/CES dumps go to Debug.  Logging is globally configurable and cheap
 // when disabled.
+//
+// Every emitted line carries a monotonic uptime stamp, a wall-clock UTC
+// timestamp and the dense thread id from rtv/obs, so daemon heartbeats and
+// multi-worker runs are attributable and mergeable:
+//
+//   [rtv INFO  +12.034s 2026-08-08T09:15:02Z t03] message
 #pragma once
 
+#include <atomic>
 #include <sstream>
 #include <string>
 
@@ -12,9 +19,19 @@ namespace rtv {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
+namespace detail {
+// Inline atomic so the RTV_LOG gate is a single relaxed load and
+// set_log_level racing concurrent readers is well-defined (TSan-clean).
+inline std::atomic<LogLevel> g_log_level{LogLevel::kWarn};
+}  // namespace detail
+
 /// Global threshold; messages below it are discarded.
-void set_log_level(LogLevel level);
-LogLevel log_level();
+inline void set_log_level(LogLevel level) {
+  detail::g_log_level.store(level, std::memory_order_relaxed);
+}
+inline LogLevel log_level() {
+  return detail::g_log_level.load(std::memory_order_relaxed);
+}
 
 /// Emit a single log line (newline appended) if level passes the threshold.
 void log_line(LogLevel level, const std::string& message);

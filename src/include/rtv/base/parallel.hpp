@@ -50,6 +50,8 @@
 #include <vector>
 
 #include "rtv/base/hash.hpp"
+#include "rtv/obs/metrics.hpp"
+#include "rtv/obs/trace.hpp"
 
 namespace rtv {
 
@@ -114,7 +116,11 @@ class LayeredRunner {
            const std::function<bool()>& merge) {
     if (jobs_ <= 1) {
       for (;;) {
-        process(0);
+        {
+          obs::Span span("layer", "parallel");
+          process(0);
+        }
+        obs::Span span("merge", "parallel");
         if (!merge()) return;
       }
     }
@@ -125,6 +131,7 @@ class LayeredRunner {
     std::exception_ptr error;
 
     const auto guarded = [&](std::size_t worker) {
+      obs::Span span("layer", "parallel");
       try {
         process(worker);
       } catch (...) {
@@ -133,24 +140,53 @@ class LayeredRunner {
       }
     };
 
+    // Per-worker barrier wait, accumulated locally and flushed once per
+    // run — the steady_clock reads happen at layer boundaries only.
+    const bool timing = obs::metrics_enabled();
+    const auto timed_wait = [timing](CyclicBarrier& b,
+                                     std::uint64_t& wait_ns) {
+      if (!timing) {
+        b.arrive_and_wait();
+        return;
+      }
+      const std::uint64_t t0 = obs::monotonic_ns();
+      b.arrive_and_wait();
+      wait_ns += obs::monotonic_ns() - t0;
+    };
+    const auto flush_wait = [timing](std::uint64_t wait_ns) {
+      if (!timing) return;
+      obs::Registry::global()
+          .histogram("rtv_parallel_barrier_wait_seconds",
+                     obs::Histogram::time_buckets(), "",
+                     "Per-worker total barrier wait per run")
+          .observe(static_cast<double>(wait_ns) * 1e-9);
+    };
+
     std::vector<std::thread> pool;
     pool.reserve(jobs_ - 1);
     for (std::size_t id = 1; id < jobs_; ++id) {
       pool.emplace_back([&, id] {
+        if (obs::tracing_active())
+          obs::set_thread_name("worker " + std::to_string(id));
+        std::uint64_t wait_ns = 0;
         for (;;) {
-          start.arrive_and_wait();
-          if (done.load(std::memory_order_acquire)) return;
+          timed_wait(start, wait_ns);
+          if (done.load(std::memory_order_acquire)) {
+            flush_wait(wait_ns);
+            return;
+          }
           guarded(id);
-          end.arrive_and_wait();
+          timed_wait(end, wait_ns);
         }
       });
     }
 
+    std::uint64_t wait_ns = 0;
     bool more = true;
     while (more) {
-      start.arrive_and_wait();
+      timed_wait(start, wait_ns);
       guarded(0);
-      end.arrive_and_wait();
+      timed_wait(end, wait_ns);
       bool failed;
       {
         std::lock_guard<std::mutex> lock(error_mutex);
@@ -163,6 +199,7 @@ class LayeredRunner {
         // exception must not escape before the shutdown handshake below,
         // or the parked workers would be destroyed while joinable.
         try {
+          obs::Span span("merge", "parallel");
           more = merge();
         } catch (...) {
           std::lock_guard<std::mutex> lock(error_mutex);
@@ -173,6 +210,7 @@ class LayeredRunner {
     }
     done.store(true, std::memory_order_release);
     start.arrive_and_wait();
+    flush_wait(wait_ns);
     for (std::thread& t : pool) t.join();
     {
       std::lock_guard<std::mutex> lock(error_mutex);
@@ -237,6 +275,7 @@ class WorkStealingRanges {
         }
       }
       // Empty: steal the tail half of the fullest victim.
+      steal_attempts_.fetch_add(1, std::memory_order_relaxed);
       std::size_t victim = workers_;
       std::uint32_t best = 0;
       for (std::size_t v = 0; v < workers_; ++v) {
@@ -257,9 +296,20 @@ class WorkStealingRanges {
               r, pack(lo, mid), std::memory_order_acq_rel,
               std::memory_order_relaxed)) {
         slots_[worker].range.store(pack(mid, hi), std::memory_order_release);
+        steals_.fetch_add(1, std::memory_order_relaxed);
       }
       // Either way, loop back and retry from our own range.
     }
+  }
+
+  /// Cumulative steal activity since construction (reset() keeps the
+  /// tallies: a run spans many layers).  Attempts count every entry into
+  /// the steal path; steals count the successful CAS handoffs.
+  std::uint64_t steal_attempts() const {
+    return steal_attempts_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t steals() const {
+    return steals_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -288,6 +338,8 @@ class WorkStealingRanges {
   std::size_t items_ = 0;
   std::size_t chunk_ = 1;
   std::size_t num_chunks_ = 0;
+  std::atomic<std::uint64_t> steal_attempts_{0};
+  std::atomic<std::uint64_t> steals_{0};
 };
 
 /// Stable reference into a ShardedInterner: (shard, slot-in-shard).
@@ -380,6 +432,26 @@ class ShardedInterner {
   void reserve(std::size_t expected_total) {
     const std::size_t per_shard = expected_total / shards_.size() + 1;
     for (auto& s : shards_) s->map.reserve(per_shard);
+  }
+
+  struct ShardStats {
+    std::size_t shards = 0;     ///< total shard count
+    std::size_t nonempty = 0;   ///< shards holding at least one key
+    std::size_t max_size = 0;   ///< largest shard's key count
+  };
+
+  /// Occupancy snapshot (locks each shard briefly — call between layers or
+  /// after a run, not from the expansion hot path).
+  ShardStats shard_stats() const {
+    ShardStats st;
+    st.shards = shards_.size();
+    for (const auto& s : shards_) {
+      std::lock_guard<std::mutex> lock(s->mutex);
+      const std::size_t n = s->values.size();
+      if (n) ++st.nonempty;
+      st.max_size = std::max(st.max_size, n);
+    }
+    return st;
   }
 
  private:

@@ -38,6 +38,9 @@ class Client {
   bool ping();
   /// Throws when the daemon answers with an error.
   ServeStats get_stats();
+  /// The daemon's metrics registry in Prometheus text-exposition format;
+  /// throws when the daemon answers with an error.
+  std::string get_metrics();
   /// Ask the daemon to persist its cache and shut down (the daemon's
   /// owner performs the actual stop).  Throws on transport failure.
   void request_shutdown();

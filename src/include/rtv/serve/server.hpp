@@ -51,6 +51,10 @@ struct ServerOptions {
   std::size_t max_cache_entries = 4096;
   /// Optional sink for human-readable log lines.
   std::function<void(const std::string&)> log;
+  /// Heartbeat period in seconds; > 0 starts a thread that logs one
+  /// structured line ("heartbeat {...}" with the stats counters as JSON)
+  /// per period through the log sink.
+  double heartbeat_seconds = 0.0;
 };
 
 class Server {

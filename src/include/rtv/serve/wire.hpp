@@ -96,6 +96,7 @@ enum class RequestKind {
   kVerify,    ///< check the carried obligations
   kPing,      ///< liveness probe
   kStats,     ///< server + cache counters
+  kMetrics,   ///< full metrics registry, Prometheus text exposition
   kShutdown,  ///< persist the cache and stop the daemon
 };
 
@@ -155,10 +156,21 @@ struct ServeResponse {
   /// Engaged for stats responses.
   bool has_stats = false;
   ServeStats stats;
+  /// Engaged for metrics responses: the daemon's full metrics registry in
+  /// Prometheus text-exposition format (carried as a JSON string).
+  std::string metrics_text;
+  /// Engaged for stats responses when the daemon has metrics enabled: the
+  /// flat JSON snapshot of the daemon's registry (rtv::obs::append_json),
+  /// spliceable into machine-readable stats output.
+  std::string metrics_json;
 
   std::string to_json() const;
   static ServeResponse parse(const std::string& line);
 };
+
+/// Append the stats counters as a JSON object (shared by the wire response
+/// serializer and `rtv client --stats --json`).
+void stats_to_json(std::string& out, const ServeStats& s);
 
 // ---------------------------------------------------------------------------
 // Module serialization (also reused by tests and tools).

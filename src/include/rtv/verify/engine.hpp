@@ -35,6 +35,10 @@
 
 namespace rtv {
 
+namespace obs {
+struct MetricsSnapshot;
+}  // namespace obs
+
 // ---------------------------------------------------------------------------
 // Verdict — the one three-valued answer every engine must give.
 // ---------------------------------------------------------------------------
@@ -91,6 +95,9 @@ struct EngineProgress {
   std::string_view engine;        ///< registry name of the running engine
   std::size_t states_explored = 0;
   double seconds = 0.0;           ///< elapsed wall-clock time
+  /// Point-in-time view of the global metrics registry, or null when
+  /// metrics are disabled.  Valid only for the duration of the callback.
+  const obs::MetricsSnapshot* metrics = nullptr;
 };
 
 using ProgressFn = std::function<void(const EngineProgress&)>;

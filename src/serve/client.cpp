@@ -106,6 +106,16 @@ ServeStats Client::get_stats() {
   return resp.stats;
 }
 
+std::string Client::get_metrics() {
+  ServeRequest req;
+  req.kind = RequestKind::kMetrics;
+  ServeResponse resp = call(req);
+  if (!resp.ok)
+    throw std::runtime_error("rtv client: metrics request failed: " +
+                             resp.error);
+  return resp.metrics_text;
+}
+
 void Client::request_shutdown() {
   ServeRequest req;
   req.kind = RequestKind::kShutdown;

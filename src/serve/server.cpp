@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "rtv/base/parallel.hpp"
+#include "rtv/obs/metrics.hpp"
+#include "rtv/obs/trace.hpp"
 #include "rtv/verify/engine.hpp"
 
 namespace rtv::serve {
@@ -130,9 +132,34 @@ struct Server::Impl {
   void start() {
     started = true;
     start_time = std::chrono::steady_clock::now();
-    scheduler = std::thread([this] { scheduler_loop(); });
+    scheduler = std::thread([this] {
+      if (obs::tracing_active()) obs::set_thread_name("serve scheduler");
+      scheduler_loop();
+    });
     acceptor = std::thread([this] { accept_loop(); });
+    if (options.heartbeat_seconds > 0.0)
+      heartbeat = std::thread([this] { heartbeat_loop(); });
     log_line("listening on " + options.socket_path);
+  }
+
+  /// One structured line per period: "heartbeat {<stats counters>}", so an
+  /// operator tailing the daemon log sees liveness and the cache ratio
+  /// drifting without having to poll the stats op.
+  void heartbeat_loop() {
+    std::unique_lock<std::mutex> lock(shutdown_mutex);
+    for (;;) {
+      shutdown_cv.wait_for(
+          lock,
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::duration<double>(options.heartbeat_seconds)),
+          [this] { return stopping.load(std::memory_order_relaxed); });
+      if (stopping.load(std::memory_order_relaxed)) return;
+      std::string line = "heartbeat ";
+      stats_to_json(line, stats());
+      lock.unlock();
+      log_line(line);
+      lock.lock();
+    }
   }
 
   void stop() {
@@ -148,6 +175,12 @@ struct Server::Impl {
       std::lock_guard<std::mutex> lock(dispatch_mutex);
       scheduler_cv.notify_all();
     }
+    {
+      // `stopping` is already visible; passing through the mutex means any
+      // heartbeat waiter either sees it before sleeping or gets the notify.
+      std::lock_guard<std::mutex> lock(shutdown_mutex);
+    }
+    shutdown_cv.notify_all();
     join_all();
     if (listen_fd >= 0) {
       ::close(listen_fd);
@@ -159,6 +192,7 @@ struct Server::Impl {
   }
 
   void join_all() {
+    if (heartbeat.joinable()) heartbeat.join();
     if (scheduler.joinable()) scheduler.join();
     // Unblock connection threads stuck in recv().
     {
@@ -257,6 +291,8 @@ struct Server::Impl {
 
   std::string handle_line(const std::string& line) {
     requests.fetch_add(1, std::memory_order_relaxed);
+    m_requests.inc();
+    obs::ScopedTimer timer(m_request_seconds);
     ServeResponse resp;
     try {
       ServeRequest req = ServeRequest::parse(line);
@@ -268,6 +304,12 @@ struct Server::Impl {
           resp.ok = true;
           resp.has_stats = true;
           resp.stats = stats();
+          if (obs::metrics_enabled())
+            obs::append_json(resp.metrics_json, obs::snapshot());
+          break;
+        case RequestKind::kMetrics:
+          resp.ok = true;
+          resp.metrics_text = obs::to_prometheus(obs::snapshot());
           break;
         case RequestKind::kShutdown:
           // Persist immediately, acknowledge, and flag the owner; the
@@ -282,6 +324,7 @@ struct Server::Impl {
       }
     } catch (const std::exception& e) {
       errors.fetch_add(1, std::memory_order_relaxed);
+      m_errors.inc();
       resp.ok = false;
       resp.error = e.what();
     }
@@ -343,10 +386,12 @@ struct Server::Impl {
         if (cache.get(key, &p.outcome)) {
           p.cached = true;
           cache_hits.fetch_add(1, std::memory_order_relaxed);
+          m_cache_hits.inc();
         } else if (auto it = inflight.find(key); it != inflight.end()) {
           p.cached = true;  // someone else is already computing it
           p.job = it->second;
           deduped.fetch_add(1, std::memory_order_relaxed);
+          m_deduped.inc();
         } else {
           auto job = std::make_shared<Job>();
           job->key = key;
@@ -359,6 +404,7 @@ struct Server::Impl {
           inflight.emplace(key, job);
           queue.push_back(job);
           computed.fetch_add(1, std::memory_order_relaxed);
+          m_computed.inc();
           scheduler_cv.notify_one();
           p.job = job;
         }
@@ -378,6 +424,7 @@ struct Server::Impl {
       }
     } catch (const std::exception& e) {
       errors.fetch_add(1, std::memory_order_relaxed);
+      m_errors.inc();
       resp.ok = false;
       resp.error = e.what();
       return resp.to_json();
@@ -449,6 +496,9 @@ struct Server::Impl {
   }
 
   void run_batch(const std::vector<std::shared_ptr<Job>>& batch) {
+    m_batch_size.observe(static_cast<double>(batch.size()));
+    obs::Span span("batch:" + std::to_string(batch.size()) + " job(s)",
+                   "serve");
     Suite suite;
     for (const auto& job : batch) {
       std::vector<const Module*> mods;
@@ -560,6 +610,7 @@ struct Server::Impl {
 
   std::thread acceptor;
   std::thread scheduler;
+  std::thread heartbeat;
 
   std::mutex conn_mutex;
   std::set<int> conn_fds;
@@ -580,6 +631,30 @@ struct Server::Impl {
   std::atomic<std::uint64_t> deduped{0};
   std::atomic<std::uint64_t> computed{0};
   std::atomic<std::uint64_t> errors{0};
+
+  // Registry mirrors of the wire-visible counters, registered eagerly so
+  // the metrics op exposes zeroed series before the first request.  The
+  // atomics above stay authoritative for the stats op (they survive a
+  // Registry::reset()); these feed the Prometheus exposition.
+  obs::Counter& m_requests = obs::Registry::global().counter(
+      "rtv_serve_requests_total", "", "Protocol messages handled");
+  obs::Counter& m_cache_hits = obs::Registry::global().counter(
+      "rtv_serve_cache_hits_total", "",
+      "Obligations answered straight from the verdict cache");
+  obs::Counter& m_deduped = obs::Registry::global().counter(
+      "rtv_serve_deduped_total",
+      "", "Obligations attached to an in-flight twin computation");
+  obs::Counter& m_computed = obs::Registry::global().counter(
+      "rtv_serve_computed_total", "",
+      "Obligations actually dispatched to run_suite");
+  obs::Counter& m_errors = obs::Registry::global().counter(
+      "rtv_serve_errors_total", "", "Requests answered ok:false");
+  obs::Histogram& m_request_seconds = obs::Registry::global().histogram(
+      "rtv_serve_request_seconds", obs::Histogram::time_buckets(), "",
+      "Wire request handling latency (parse to serialized response)");
+  obs::Histogram& m_batch_size = obs::Registry::global().histogram(
+      "rtv_serve_batch_size", obs::Histogram::count_buckets(), "",
+      "Jobs grouped into one scheduler batch");
 };
 
 // ---------------------------------------------------------------------------

@@ -364,6 +364,8 @@ const char* to_string(RequestKind kind) {
       return "ping";
     case RequestKind::kStats:
       return "stats";
+    case RequestKind::kMetrics:
+      return "metrics";
     case RequestKind::kShutdown:
       return "shutdown";
   }
@@ -431,6 +433,8 @@ ServeRequest ServeRequest::parse(const std::string& line) {
     req.kind = RequestKind::kPing;
   else if (kind == "stats")
     req.kind = RequestKind::kStats;
+  else if (kind == "metrics")
+    req.kind = RequestKind::kMetrics;
   else if (kind == "shutdown")
     req.kind = RequestKind::kShutdown;
   else
@@ -497,8 +501,6 @@ ServeRequest ServeRequest::parse(const std::string& line) {
 // Responses
 // ---------------------------------------------------------------------------
 
-namespace {
-
 void stats_to_json(std::string& out, const ServeStats& s) {
   out += "{\"requests\":" + std::to_string(s.requests);
   out += ",\"obligations\":" + std::to_string(s.obligations);
@@ -513,6 +515,8 @@ void stats_to_json(std::string& out, const ServeStats& s) {
   out += ",\"jobs\":" + std::to_string(s.jobs);
   out += "}";
 }
+
+namespace {
 
 std::uint64_t u64_from(const Value& obj, const char* key,
                        std::string_view ctx) {
@@ -563,6 +567,14 @@ std::string ServeResponse::to_json() const {
     out += ",\"stats\":";
     stats_to_json(out, stats);
   }
+  if (!metrics_text.empty()) {
+    out += ",\"metrics_text\":";
+    append_string(out, metrics_text);
+  }
+  if (!metrics_json.empty()) {
+    out += ",\"metrics_json\":";
+    append_string(out, metrics_json);
+  }
   out += "}";
   return out;
 }
@@ -582,6 +594,18 @@ ServeResponse ServeResponse::parse(const std::string& line) {
   if (const Value* st = root.find("stats")) {
     resp.stats = stats_from_json(*st);
     resp.has_stats = true;
+  }
+  if (const Value* mt = root.find("metrics_text")) {
+    if (mt->kind != Kind::kString)
+      throw std::runtime_error(
+          "serve response JSON: metrics_text is not a string");
+    resp.metrics_text = mt->string;
+  }
+  if (const Value* mj = root.find("metrics_json")) {
+    if (mj->kind != Kind::kString)
+      throw std::runtime_error(
+          "serve response JSON: metrics_json is not a string");
+    resp.metrics_json = mj->string;
   }
   return resp;
 }

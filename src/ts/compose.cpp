@@ -303,7 +303,23 @@ Composition compose(const std::vector<const Module*>& modules,
 
   // The first merge() call publishes the initial frontier (or reports the
   // degenerate zero-budget truncation) before any expansion work runs.
-  if (merge()) runner.run(process, merge);
+  {
+    obs::Span span("compose", "rtv");
+    if (merge()) runner.run(process, merge);
+  }
+
+  if (obs::metrics_enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    reg.counter("rtv_parallel_steal_attempts_total", "",
+                "Entries into the work-stealing path")
+        .add(ranges.steal_attempts());
+    reg.counter("rtv_parallel_steals_total", "",
+                "Successful chunk-range steals")
+        .add(ranges.steals());
+    reg.counter("rtv_compose_states_total", "",
+                "Composed product states across runs")
+        .add(out.ts.num_states());
+  }
 
   return out;
 }

@@ -1,8 +1,11 @@
 #include "rtv/verify/engine.hpp"
 
 #include <mutex>
+#include <string>
 #include <utility>
 
+#include "rtv/obs/metrics.hpp"
+#include "rtv/obs/trace.hpp"
 #include "rtv/verify/refinement.hpp"
 #include "rtv/zone/discrete.hpp"
 #include "rtv/zone/zone_graph.hpp"
@@ -50,8 +53,18 @@ const char* RunClock::tick(std::size_t states_explored) {
   if (has_deadline_ && (ticks_ % 64) == 0 && seconds() > deadline_seconds_)
     return stop_reason::kDeadline;
   ++ticks_;
-  if (progress_ && (ticks_ % progress_interval_) == 0)
-    progress_(EngineProgress{engine_, states_explored, seconds()});
+  if (progress_ && (ticks_ % progress_interval_) == 0) {
+    EngineProgress p{engine_, states_explored, seconds(), nullptr};
+    if (obs::metrics_enabled()) {
+      // Snapshot cost is amortized over progress_interval explored states
+      // (default 8192), so attaching it here stays off the per-state path.
+      const obs::MetricsSnapshot snap = obs::snapshot();
+      p.metrics = &snap;
+      progress_(p);
+    } else {
+      progress_(p);
+    }
+  }
   return nullptr;
 }
 
@@ -60,6 +73,31 @@ const char* RunClock::tick(std::size_t states_explored) {
 // ---------------------------------------------------------------------------
 
 namespace {
+
+/// One flush per finished run: cheap enough to do unconditionally from the
+/// engine adapters, so every caller (CLI, suite, serve, fuzz) gets the
+/// per-engine counters without opting in.
+void record_run_metrics(std::string_view engine, const EngineResult& r) {
+  if (!obs::metrics_enabled()) return;
+  obs::Registry& reg = obs::Registry::global();
+  const std::string label = "engine=\"" + std::string(engine) + '"';
+  reg.counter("rtv_engine_runs_total", label, "Finished engine runs").inc();
+  reg.counter("rtv_engine_states_explored_total", label,
+              "Explored states in the engine's own unit")
+      .add(r.states_explored);
+  reg.counter("rtv_engine_verdicts_total",
+              label + ",verdict=\"" + to_string(r.verdict) + '"',
+              "Run verdict tally")
+      .inc();
+  reg.histogram("rtv_engine_run_seconds", obs::Histogram::time_buckets(),
+                label, "Wall-clock seconds per run")
+      .observe(r.seconds);
+  if (const auto* st = std::get_if<RefineEngineStats>(&r.stats))
+    reg.counter("rtv_engine_refinement_iterations_total", "",
+                "Refinement loop iterations across runs")
+        .add(static_cast<std::uint64_t>(
+            st->refinements < 0 ? 0 : st->refinements));
+}
 
 class RefineEngine final : public Engine {
  public:
@@ -70,6 +108,7 @@ class RefineEngine final : public Engine {
   }
 
   EngineResult run(const EngineRequest& request) const override {
+    obs::Span span("engine:refine", "engine");
     VerifyOptions opts;
     opts.max_refinements = request.max_refinements;
     if (request.budget.max_states) opts.max_states = request.budget.max_states;
@@ -97,6 +136,7 @@ class RefineEngine final : public Engine {
     for (const DerivedOrdering& o : r.constraints())
       st.constraints.push_back(o.before + " before " + o.after);
     out.stats = std::move(st);
+    record_run_metrics(name(), out);
     return out;
   }
 };
@@ -110,6 +150,7 @@ class ZoneEngine final : public Engine {
   }
 
   EngineResult run(const EngineRequest& request) const override {
+    obs::Span span("engine:zone", "engine");
     ZoneVerifyOptions opts;
     if (request.budget.max_states) opts.max_zones = request.budget.max_states;
     opts.max_seconds = request.budget.max_seconds;
@@ -129,6 +170,7 @@ class ZoneEngine final : public Engine {
     out.seconds = r.seconds;
     out.truncated_reason = r.truncated_reason;
     out.stats = ZoneEngineStats{r.discrete_states};
+    record_run_metrics(name(), out);
     return out;
   }
 };
@@ -142,6 +184,7 @@ class DiscreteEngine final : public Engine {
   }
 
   EngineResult run(const EngineRequest& request) const override {
+    obs::Span span("engine:discrete", "engine");
     DiscreteVerifyOptions opts;
     if (request.budget.max_states) opts.max_states = request.budget.max_states;
     opts.max_seconds = request.budget.max_seconds;
@@ -161,6 +204,7 @@ class DiscreteEngine final : public Engine {
     out.seconds = r.seconds;
     out.truncated_reason = r.truncated_reason;
     out.stats = DiscreteEngineStats{r.discrete_states};
+    record_run_metrics(name(), out);
     return out;
   }
 };

@@ -5,6 +5,7 @@
 
 #include "rtv/base/log.hpp"
 #include "rtv/lazy/refined_system.hpp"
+#include "rtv/obs/trace.hpp"
 #include "rtv/verify/failure_search.hpp"
 
 namespace rtv {
@@ -61,6 +62,7 @@ VerificationResult verify_modules(
 
   std::string last_signature;
   for (std::size_t iter = 0; iter <= options.max_refinements; ++iter) {
+    obs::Span span("refine iteration " + std::to_string(iter), "engine");
     FailureSearchStats stats;
     const auto failure = find_failure(refined, comp.chokes, properties,
                                       options.max_states, &stats, &clock);

@@ -13,6 +13,8 @@
 
 #include "rtv/base/json.hpp"
 #include "rtv/base/parallel.hpp"
+#include "rtv/obs/metrics.hpp"
+#include "rtv/obs/trace.hpp"
 
 namespace rtv {
 
@@ -86,6 +88,9 @@ struct ObligationControl {
   CancelToken token;
   /// Set once by the first definitive finisher (compare-exchange).
   std::atomic<bool> decided{false};
+  /// Monotonic stamp of the winner's cancel() (0 = never fired), so losers
+  /// can report how long the cancellation took to land.
+  std::atomic<std::uint64_t> cancel_ns{0};
 };
 
 struct Task {
@@ -155,11 +160,25 @@ SuiteReport run_suite(const Suite& suite, const SuiteOptions& options) {
 
   std::mutex progress_mutex;
 
+  const auto t0 = std::chrono::steady_clock::now();
   const auto run_task = [&](const Task& task, SuiteRecord& rec) {
     const Obligation& ob = *task.obligation;
     ObligationControl& ctl = *task.control;
     rec.obligation = ob.name;
     rec.engine = std::string(task.engine->name());
+
+    const bool metered = obs::metrics_enabled();
+    if (metered) {
+      obs::Registry& reg = obs::Registry::global();
+      reg.counter("rtv_suite_tasks_total", "", "Scheduled suite tasks").inc();
+      reg.histogram("rtv_suite_queue_wait_seconds",
+                    obs::Histogram::time_buckets(), "",
+                    "Suite start to task pickup")
+          .observe(std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count());
+    }
+    obs::Span span("ob:" + ob.name + " [" + rec.engine + "]", "suite");
 
     // A decided portfolio obligation (or an aborted suite) skips the run
     // outright: the loser is recorded as cancelled without exploring a
@@ -213,19 +232,40 @@ SuiteReport run_suite(const Suite& suite, const SuiteOptions& options) {
     }
     rec.cpu_seconds = thread_cpu_seconds() - cpu0;
 
+    // Portfolio cancel latency: how long after the winner's cancel() this
+    // loser actually stopped.
+    if (metered && rec.result.truncated_reason == stop_reason::kCancelled) {
+      const std::uint64_t fired = ctl.cancel_ns.load(std::memory_order_relaxed);
+      if (fired) {
+        obs::Registry::global()
+            .histogram("rtv_suite_cancel_latency_seconds",
+                       obs::Histogram::time_buckets(), "",
+                       "Portfolio winner cancel() to loser stop")
+            .observe(static_cast<double>(obs::monotonic_ns() - fired) * 1e-9);
+      }
+    }
+
     if (!definitive(rec.result.verdict)) return;
     if (options.mode == SuiteMode::kPortfolio) {
       bool expected = false;
       if (ctl.decided.compare_exchange_strong(expected, true)) {
         rec.winner = true;
+        ctl.cancel_ns.store(obs::monotonic_ns(), std::memory_order_relaxed);
         ctl.token.cancel();  // the verdict is in; stop the peers
+        obs::trace_instant("winner: " + rec.obligation + " [" + rec.engine +
+                           "]", "suite");
       }
     } else {
       rec.winner = true;
     }
+    if (metered && rec.winner)
+      obs::Registry::global()
+          .counter("rtv_suite_winner_total",
+                   "engine=\"" + rec.engine + '"',
+                   "Definitive verdicts per engine")
+          .inc();
   };
 
-  const auto t0 = std::chrono::steady_clock::now();
   std::atomic<std::size_t> next{0};
   const auto worker = [&] {
     for (;;) {
@@ -239,7 +279,12 @@ SuiteReport run_suite(const Suite& suite, const SuiteOptions& options) {
   } else {
     std::vector<std::thread> pool;
     pool.reserve(jobs);
-    for (std::size_t i = 0; i < jobs; ++i) pool.emplace_back(worker);
+    for (std::size_t i = 0; i < jobs; ++i)
+      pool.emplace_back([&worker, i] {
+        if (obs::tracing_active())
+          obs::set_thread_name("suite worker " + std::to_string(i + 1));
+        worker();
+      });
     for (std::thread& t : pool) t.join();
   }
   report.wall_seconds =

@@ -240,6 +240,7 @@ DiscreteVerifyResult discrete_explore(
   };
 
   WorkStealingRanges ranges;
+  std::vector<std::uint64_t> expanded(jobs, 0);
   const auto process = [&](std::size_t worker) {
     while (const auto chunk = ranges.next(worker)) {
       if (stop_flag.load(std::memory_order_relaxed)) return;
@@ -255,6 +256,7 @@ DiscreteVerifyResult discrete_explore(
         }
         process_state(i, frontier[i], worker);
       }
+      expanded[worker] += chunk->end - chunk->begin;
     }
   };
 
@@ -275,6 +277,28 @@ DiscreteVerifyResult discrete_explore(
     r.states_explored = interner.size();
     r.discrete_states = discrete_count;
     r.seconds = clock.seconds();
+    if (obs::metrics_enabled()) {
+      // One flush per run: worker balance, steal activity, interner shape.
+      obs::Registry& reg = obs::Registry::global();
+      for (std::size_t w = 0; w < expanded.size(); ++w)
+        reg.counter("rtv_parallel_worker_expanded_total",
+                    "worker=\"" + std::to_string(w) + '"',
+                    "Frontier items expanded per worker slot")
+            .add(expanded[w]);
+      reg.counter("rtv_parallel_steal_attempts_total", "",
+                  "Entries into the work-stealing path")
+          .add(ranges.steal_attempts());
+      reg.counter("rtv_parallel_steals_total", "",
+                  "Successful chunk-range steals")
+          .add(ranges.steals());
+      const auto shards = interner.shard_stats();
+      reg.gauge("rtv_interner_shards_used", "",
+                "Interner shards holding at least one config")
+          .set(static_cast<std::int64_t>(shards.nonempty));
+      reg.gauge("rtv_interner_shard_occupancy_max", "",
+                "Largest interner shard's config count")
+          .set(static_cast<std::int64_t>(shards.max_size));
+    }
     return r;
   };
 
@@ -322,6 +346,15 @@ DiscreteVerifyResult discrete_explore(
     frontier.reserve(gathered.size());
     for (auto& [key, item] : gathered) frontier.push_back(std::move(item));
     ++current_layer;
+    if (obs::metrics_enabled()) {
+      obs::Registry& reg = obs::Registry::global();
+      reg.gauge("rtv_engine_frontier_size", "engine=\"discrete\"",
+                "Current BFS frontier size")
+          .set(static_cast<std::int64_t>(frontier.size()));
+      reg.counter("rtv_engine_frontier_layers_total", "engine=\"discrete\"",
+                  "Completed BFS layers")
+          .inc();
+    }
     if (frontier.empty()) return false;
     ranges.reset(frontier.size(), frontier_chunk_size(frontier.size(), jobs),
                  jobs);

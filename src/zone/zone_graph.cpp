@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "rtv/base/log.hpp"
+#include "rtv/obs/metrics.hpp"
 
 namespace rtv {
 
@@ -85,13 +86,17 @@ ZoneVerifyResult zone_explore(const TransitionSystem& ts,
   };
 
   bool budget_hit = false;
+  std::uint64_t subsumption_checks = 0, subsumed = 0;
   auto add_node = [&](ZoneNode node) -> std::optional<std::size_t> {
     // Subsumption against stored zones of the same discrete state.
     auto& bucket = stored[node.state.value()];
+    subsumption_checks += bucket.size();
     for (std::size_t idx : bucket) {
       const ZoneNode& other = nodes[idx];
-      if (other.clocks == node.clocks && node.zone.subset_of(other.zone))
+      if (other.clocks == node.clocks && node.zone.subset_of(other.zone)) {
+        ++subsumed;
         return std::nullopt;
+      }
     }
     // The zone budget is an insertion-time ceiling: a zone beyond the cap
     // is rejected outright (the initial zone is always admitted), so the
@@ -125,6 +130,18 @@ ZoneVerifyResult zone_explore(const TransitionSystem& ts,
     r.zones_explored = nodes.size();
     r.discrete_states = discrete_count;
     r.seconds = clock.seconds();
+    if (obs::metrics_enabled()) {
+      obs::Registry& reg = obs::Registry::global();
+      reg.counter("rtv_zone_subsumption_checks_total", "",
+                  "Zone-vs-stored-zone subsumption comparisons")
+          .add(subsumption_checks);
+      reg.counter("rtv_zone_subsumed_total", "",
+                  "Zones dropped as subsumed by a stored zone")
+          .add(subsumed);
+      reg.gauge("rtv_engine_frontier_size", "engine=\"zone\"",
+                "Zone waiting-queue size at the end of the run")
+          .set(static_cast<std::int64_t>(queue.size()));
+    }
     return r;
   };
 

@@ -1,0 +1,286 @@
+// The observability layer (rtv/obs/):
+//
+//   * counters: exact totals under concurrent writers (sharding must not
+//     lose or double-count), zero cost paths when disabled;
+//   * histograms: Prometheus `le` bucket-edge semantics (inclusive upper
+//     bounds), sum/count coherence;
+//   * registry: (name, labels) identity, snapshot find(), Prometheus text
+//     and JSON exposition shapes;
+//   * tracing: the emitted Chrome trace-event JSON parses, carries matched
+//     B/E pairs per thread, names threads via metadata, and emits nothing
+//     when tracing never started.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rtv/base/json.hpp"
+#include "rtv/obs/metrics.hpp"
+#include "rtv/obs/trace.hpp"
+
+namespace rtv::obs {
+namespace {
+
+/// Every test leaves the global switch the way it found it (enabled).
+struct MetricsGuard {
+  ~MetricsGuard() { set_metrics_enabled(true); }
+};
+
+TEST(ObsCounter, ConcurrentAddsSumExactly) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsCounter, DisabledDropsMutations) {
+  MetricsGuard guard;
+  Counter c;
+  c.add(7);
+  set_metrics_enabled(false);
+  c.add(1000);
+  EXPECT_EQ(c.value(), 7u);  // accumulated value survives, mutation dropped
+  set_metrics_enabled(true);
+  c.add(3);
+  EXPECT_EQ(c.value(), 10u);
+}
+
+TEST(ObsGauge, SetAddAndDisable) {
+  MetricsGuard guard;
+  Gauge g;
+  g.set(42);
+  g.add(-2);
+  EXPECT_EQ(g.value(), 40);
+  set_metrics_enabled(false);
+  g.set(7);
+  EXPECT_EQ(g.value(), 40);
+}
+
+TEST(ObsHistogram, BucketEdgesAreInclusiveUpperBounds) {
+  Histogram h({1.0, 2.0, 4.0});
+  // Prometheus `le` semantics: an observation equal to a bound lands in
+  // that bound's bucket, strictly above it spills to the next.
+  h.observe(0.5);  // le=1
+  h.observe(1.0);  // le=1 (inclusive edge)
+  h.observe(1.5);  // le=2
+  h.observe(2.0);  // le=2 (inclusive edge)
+  h.observe(4.0);  // le=4 (inclusive edge)
+  h.observe(4.5);  // +Inf
+  const std::vector<std::uint64_t> counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 4.0 + 4.5);
+}
+
+TEST(ObsHistogram, ConcurrentObservationsKeepSumAndCountCoherent) {
+  Histogram h(Histogram::count_buckets());
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.observe(1.0);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_DOUBLE_EQ(h.sum(), static_cast<double>(kThreads * kPerThread));
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t n : h.bucket_counts()) bucket_total += n;
+  EXPECT_EQ(bucket_total, h.count());
+}
+
+TEST(ObsRegistry, NameAndLabelsAreTheIdentity) {
+  Registry& reg = Registry::global();
+  Counter& a = reg.counter("rtv_test_identity_total", "engine=\"zone\"");
+  Counter& b = reg.counter("rtv_test_identity_total", "engine=\"zone\"");
+  Counter& c = reg.counter("rtv_test_identity_total", "engine=\"refine\"");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &c);
+  a.reset();
+  c.reset();
+  a.add(5);
+  c.add(9);
+  const MetricsSnapshot snap = snapshot();
+  const MetricPoint* pa = snap.find("rtv_test_identity_total", "engine=\"zone\"");
+  const MetricPoint* pc =
+      snap.find("rtv_test_identity_total", "engine=\"refine\"");
+  ASSERT_NE(pa, nullptr);
+  ASSERT_NE(pc, nullptr);
+  EXPECT_DOUBLE_EQ(pa->value, 5.0);
+  EXPECT_DOUBLE_EQ(pc->value, 9.0);
+  EXPECT_EQ(snap.find("rtv_test_identity_total", "engine=\"no-such\""),
+            nullptr);
+}
+
+TEST(ObsRegistry, PrometheusTextExposition) {
+  Registry& reg = Registry::global();
+  Counter& c = reg.counter("rtv_test_prom_total", "kind=\"x\"",
+                           "Test counter for the exposition format");
+  c.reset();
+  c.add(3);
+  Histogram& h = reg.histogram("rtv_test_prom_seconds", {0.1, 1.0}, "",
+                               "Test histogram");
+  h.reset();
+  h.observe(0.05);
+  h.observe(0.5);
+  h.observe(5.0);
+  const std::string text = to_prometheus(snapshot());
+  EXPECT_NE(text.find("# HELP rtv_test_prom_total Test counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE rtv_test_prom_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("rtv_test_prom_total{kind=\"x\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE rtv_test_prom_seconds histogram"),
+            std::string::npos);
+  // Buckets are cumulative and end with the +Inf bucket == _count.
+  EXPECT_NE(text.find("rtv_test_prom_seconds_bucket{le=\"0.1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("rtv_test_prom_seconds_bucket{le=\"1\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("rtv_test_prom_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("rtv_test_prom_seconds_count 3"), std::string::npos);
+}
+
+TEST(ObsRegistry, JsonSnapshotParsesAndCarriesValues) {
+  Registry& reg = Registry::global();
+  Counter& c = reg.counter("rtv_test_json_total");
+  c.reset();
+  c.add(11);
+  std::string out;
+  append_json(out, snapshot());
+  const json::Value v = json::parse(out, "obs metrics JSON");
+  ASSERT_EQ(v.kind, json::Value::Kind::kObject);
+  const json::Value* p = v.find("rtv_test_json_total");
+  ASSERT_NE(p, nullptr);
+  EXPECT_DOUBLE_EQ(p->number, 11.0);
+}
+
+TEST(ObsTrace, InactiveTracingEmitsNothing) {
+  // Never started in this scope: spans are free and the serializer
+  // refuses to fabricate a document.
+  EXPECT_FALSE(tracing_active());
+  {
+    Span span("should not appear", "test");
+    trace_instant("also invisible", "test");
+  }
+  EXPECT_EQ(stop_tracing_json(), "");
+}
+
+TEST(ObsTrace, EmitsMatchedPairsPerThreadWithThreadNames) {
+  start_tracing();
+  set_thread_name("obs-test-main");
+  {
+    Span outer("outer", "test");
+    Span inner("inner", "test");
+    trace_instant("tick", "test");
+  }
+  constexpr int kThreads = 3;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      set_thread_name("obs-test-worker " + std::to_string(t));
+      for (int i = 0; i < 5; ++i) {
+        Span span("work " + std::to_string(i), "test");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const std::string text = stop_tracing_json();
+  ASSERT_FALSE(text.empty());
+
+  const json::Value doc = json::parse(text, "trace JSON");
+  ASSERT_EQ(doc.kind, json::Value::Kind::kObject);
+  const json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, json::Value::Kind::kArray);
+
+  std::map<double, int> open_per_tid;  // B minus E, must end at zero
+  std::map<double, double> last_ts_per_tid;
+  int names = 0, instants = 0;
+  for (const json::Value& e : events->array) {
+    const json::Value* ph = e.find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string == "M") {
+      // Metadata: process_name carries no tid, thread_name does.
+      const json::Value* name = e.find("name");
+      ASSERT_NE(name, nullptr);
+      if (name->string == "thread_name") ++names;
+      continue;
+    }
+    const json::Value* tid = e.find("tid");
+    ASSERT_NE(tid, nullptr);
+    const json::Value* ts = e.find("ts");
+    ASSERT_NE(ts, nullptr);
+    // Within one thread's track, timestamps never go backwards.
+    auto [it, fresh] = last_ts_per_tid.emplace(tid->number, ts->number);
+    if (!fresh) {
+      EXPECT_GE(ts->number, it->second);
+      it->second = ts->number;
+    }
+    if (ph->string == "B") {
+      ++open_per_tid[tid->number];
+    } else if (ph->string == "E") {
+      --open_per_tid[tid->number];
+      EXPECT_GE(open_per_tid[tid->number], 0) << "E without a matching B";
+    } else if (ph->string == "i") {
+      ++instants;
+    }
+  }
+  for (const auto& [tid, open] : open_per_tid)
+    EXPECT_EQ(open, 0) << "unbalanced spans on tid " << tid;
+  EXPECT_GE(open_per_tid.size(), 2u);  // main + at least one worker track
+  EXPECT_GE(names, kThreads + 1);      // every named thread got metadata
+  EXPECT_EQ(instants, 1);
+}
+
+TEST(ObsTrace, SpanOutlivingItsSessionIsClosedAtStop) {
+  start_tracing();
+  auto* leaked = new Span("straddles stop", "test");
+  const std::string text = stop_tracing_json();
+  delete leaked;  // span_end lands after the session died — must be dropped
+  const json::Value doc = json::parse(text, "trace JSON");
+  const json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  int b = 0, e = 0;
+  for (const json::Value& ev : events->array) {
+    const json::Value* ph = ev.find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string == "B") ++b;
+    if (ph->string == "E") ++e;
+  }
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(e, 1);  // synthesized close, not a dangling B
+  // A fresh session must not resurrect the dead ticket's effects.
+  start_tracing();
+  EXPECT_NE(stop_tracing_json(), "");
+}
+
+TEST(ObsScopedTimer, ObservesElapsedSeconds) {
+  Registry& reg = Registry::global();
+  Histogram& h = reg.histogram("rtv_test_timer_seconds",
+                               Histogram::time_buckets());
+  h.reset();
+  { ScopedTimer timer(h); }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.sum(), 0.0);
+}
+
+}  // namespace
+}  // namespace rtv::obs

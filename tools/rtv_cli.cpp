@@ -5,6 +5,13 @@
 //                              [--no-persistency] [--max-ref N] [--progress]
 //                              (--jobs shards the engine's own frontier;
 //                              0 = one worker per hardware thread)
+//
+// Observability flags accepted by every run-something subcommand (verify,
+// suite, portfolio, fuzz, ipcmos, serve, client — see docs/OBSERVABILITY.md):
+//   --trace FILE      write a Chrome trace-event / Perfetto JSON timeline of
+//                     the whole command (one track per worker thread)
+//   --progress-json   emit progress as JSON lines (with a metrics snapshot)
+//                     on stderr instead of the human form
 //   rtv suite     a.g b.g ...  [--engine NAME[,NAME...]] [--jobs N] [--json F]
 //                              (each file is one obligation; batch-parallel)
 //   rtv portfolio a.g b.g ...  [--engines NAME,NAME] [--jobs N] [--json F]
@@ -20,14 +27,19 @@
 //                              disagreement / bad trace / engine error is found)
 //   rtv ipcmos                 [--engine NAME] [--jobs N] [--json F]
 //   rtv serve                  --socket PATH [--cache F] [--jobs N]
-//                              [--max-cache-entries N]
+//                              [--max-cache-entries N] [--heartbeat S]
 //                              (persistent verification daemon with a
 //                              content-addressed verdict cache; stop it with
 //                              `rtv client --shutdown`, SIGINT or SIGTERM)
 //   rtv client   a.g b.g ...   --socket PATH [--engines NAME,NAME] [--portfolio]
 //                              [--timeout S] [--max-states N] [--max-ref N]
 //                              [--no-deadlock] [--no-persistency] [--json F]
-//   rtv client                 --socket PATH (--ping | --stats | --shutdown)
+//   rtv client                 --socket PATH (--ping | --stats [--json F|-]
+//                              | --metrics | --shutdown)
+//                              (--metrics prints the daemon's registry in
+//                              Prometheus text form; --stats --json - prints
+//                              one JSON document with the stats counters and
+//                              the daemon's metrics snapshot)
 //   rtv simulate a.g b.g ...   [--events N] [--seed S] [--vcd out.vcd] [--signals s1,s2]
 //   rtv dot      a.g           (marking graph as graphviz)
 //   rtv minimize a.g           (bisimulation quotient statistics)
@@ -52,6 +64,8 @@
 
 #include "rtv/fuzz/campaign.hpp"
 #include "rtv/ipcmos/experiments.hpp"
+#include "rtv/obs/metrics.hpp"
+#include "rtv/obs/trace.hpp"
 #include "rtv/serve/client.hpp"
 #include "rtv/serve/server.hpp"
 #include "rtv/sim/simulator.hpp"
@@ -80,6 +94,7 @@ int usage() {
       "  rtv verify    <stg.g>... [--engine NAME] [--jobs N] [--timeout S]\n"
       "                           [--max-states N] [--no-deadlock]\n"
       "                           [--no-persistency] [--max-ref N] [--progress]\n"
+      "                           [--progress-json] [--trace FILE]\n"
       "  rtv suite     <stg.g>... [--engine NAME[,NAME...]] [--jobs N] [--json FILE]\n"
       "                           [--timeout S] [--max-states N] [--no-deadlock]\n"
       "                           [--no-persistency] [--max-ref N] [--progress]\n"
@@ -94,11 +109,13 @@ int usage() {
       "                           [--replay] [--json FILE]\n"
       "  rtv ipcmos               [--engine NAME[,NAME...]] [--jobs N] [--json FILE]\n"
       "  rtv serve                --socket PATH [--cache FILE] [--jobs N]\n"
-      "                           [--max-cache-entries N]\n"
+      "                           [--max-cache-entries N] [--heartbeat S]\n"
       "  rtv client    <stg.g>... --socket PATH [--engines NAME,NAME...] [--portfolio]\n"
       "                           [--timeout S] [--max-states N] [--max-ref N]\n"
       "                           [--no-deadlock] [--no-persistency] [--json FILE]\n"
-      "  rtv client               --socket PATH (--ping | --stats | --shutdown)\n"
+      "  rtv client               --socket PATH (--ping | --stats [--json FILE|-]\n"
+      "                           | --metrics | --shutdown)\n"
+      "  (all run subcommands also accept --trace FILE and --progress-json)\n"
       "  rtv simulate  <stg.g>... [--events N] [--seed S] [--vcd FILE] [--signals a,b]\n"
       "  rtv dot       <stg.g>\n"
       "  rtv minimize  <stg.g>\n"
@@ -193,8 +210,10 @@ struct VerifyCliOptions {
   std::size_t max_states = 0;  // 0 = the engine's native default
   double timeout_seconds = 0.0;
   bool progress = false;
+  bool progress_json = false;  ///< progress as JSON lines (implies --progress)
   std::size_t jobs = 0;  // 0 = hardware concurrency
   std::string json_path;
+  std::string trace_path;  ///< Chrome trace-event JSON destination; "" = off
 };
 
 /// Resolve the requested engine names, or print the registry and fail with
@@ -211,11 +230,33 @@ bool engines_exist(const std::vector<std::string>& names) {
   return true;
 }
 
-ProgressFn progress_printer() {
+/// Human progress lines, or (`--progress-json`) one JSON object per fire
+/// with the metrics snapshot spliced in — scrapeable mid-run telemetry
+/// without waiting for the final report.  Both write to stderr so stdout
+/// stays the report channel.
+ProgressFn progress_printer(bool json_lines) {
+  if (!json_lines) {
+    return [](const EngineProgress& p) {
+      std::fprintf(stderr, "[%.*s] %zu states, %.1f s\n",
+                   static_cast<int>(p.engine.size()), p.engine.data(),
+                   p.states_explored, p.seconds);
+    };
+  }
   return [](const EngineProgress& p) {
-    std::fprintf(stderr, "[%.*s] %zu states, %.1f s\n",
-                 static_cast<int>(p.engine.size()), p.engine.data(),
-                 p.states_explored, p.seconds);
+    std::string line = "{\"engine\":\"";
+    line.append(p.engine);
+    line += "\",\"states_explored\":";
+    line += std::to_string(p.states_explored);
+    char sec[32];
+    std::snprintf(sec, sizeof sec, "%.3f", p.seconds);
+    line += ",\"seconds\":";
+    line += sec;
+    if (p.metrics) {
+      line += ",\"metrics\":";
+      obs::append_json(line, *p.metrics);
+    }
+    line += "}";
+    std::fprintf(stderr, "%s\n", line.c_str());
   };
 }
 
@@ -242,7 +283,8 @@ SuiteOptions suite_options(const VerifyCliOptions& cli, SuiteMode mode) {
   opts.budget.max_states = cli.max_states;
   opts.budget.max_seconds = cli.timeout_seconds;
   opts.max_refinements = cli.max_ref;
-  if (cli.progress) opts.progress = progress_printer();
+  if (cli.progress || cli.progress_json)
+    opts.progress = progress_printer(cli.progress_json);
   return opts;
 }
 
@@ -279,7 +321,8 @@ int cmd_verify(const std::vector<std::string>& files,
   req.budget.max_seconds = cli.timeout_seconds;
   req.max_refinements = cli.max_ref;
   req.jobs = cli.jobs;  // 0 (the default) = one worker per hardware thread
-  if (cli.progress) req.progress = progress_printer();
+  if (cli.progress || cli.progress_json)
+    req.progress = progress_printer(cli.progress_json);
 
   const EngineResult r = engine->run(req);
   std::printf("== verify (engine: %s) ==\n", name.c_str());
@@ -436,9 +479,11 @@ struct ServeCliOptions {
   std::string socket_path;
   std::string cache_path;
   std::size_t max_cache_entries = 4096;
+  double heartbeat_seconds = 0.0;
   bool portfolio = false;
   bool ping = false;
   bool stats = false;
+  bool metrics = false;
   bool shutdown = false;
 };
 
@@ -455,6 +500,7 @@ int cmd_serve(const ServeCliOptions& scli, const VerifyCliOptions& cli) {
   opts.cache_path = scli.cache_path;
   opts.jobs = cli.jobs;
   opts.max_cache_entries = scli.max_cache_entries;
+  opts.heartbeat_seconds = scli.heartbeat_seconds;
   opts.log = [](const std::string& line) {
     std::fprintf(stderr, "rtv serve: %s\n", line.c_str());
   };
@@ -492,8 +538,38 @@ int cmd_client(const std::vector<std::string>& files,
     std::printf("%s\n", ok ? "pong" : "ping failed");
     return ok ? 0 : kExitRuntime;
   }
+  if (scli.metrics) {
+    std::printf("%s", client.get_metrics().c_str());
+    return 0;
+  }
   if (scli.stats) {
-    const serve::ServeStats s = client.get_stats();
+    // Fetch via call() rather than get_stats() so the optional metrics_json
+    // payload survives for --json output.
+    serve::ServeRequest sreq;
+    sreq.kind = serve::RequestKind::kStats;
+    const serve::ServeResponse sresp = client.call(sreq);
+    if (!sresp.ok || !sresp.has_stats) {
+      std::fprintf(stderr, "error from daemon: %s\n", sresp.error.c_str());
+      return kExitRuntime;
+    }
+    const serve::ServeStats& s = sresp.stats;
+    if (!cli.json_path.empty()) {
+      // One machine-readable document: the wire stats counters plus the
+      // daemon's full metrics snapshot when it has metrics enabled.
+      std::string out = "{\"stats\":";
+      serve::stats_to_json(out, s);
+      if (!sresp.metrics_json.empty()) {
+        out += ",\"metrics\":";
+        out += sresp.metrics_json;
+      }
+      out += "}\n";
+      if (cli.json_path == "-") {
+        std::fputs(out.c_str(), stdout);
+      } else if (!write_text(out, cli.json_path)) {
+        return kExitRuntime;
+      }
+      return 0;
+    }
     std::printf("uptime:          %.1f s\n", s.uptime_seconds);
     std::printf("jobs:            %llu\n",
                 static_cast<unsigned long long>(s.jobs));
@@ -655,6 +731,10 @@ int main(int argc, char** argv) {
       vopts.max_states = parse_size(arg, next());
     } else if (arg == "--progress") {
       vopts.progress = true;
+    } else if (arg == "--progress-json") {
+      vopts.progress_json = true;
+    } else if (arg == "--trace") {
+      vopts.trace_path = next();
     } else if (arg == "--jobs") {
       vopts.jobs = parse_size(arg, next());
     } else if (arg == "--json") {
@@ -705,12 +785,16 @@ int main(int argc, char** argv) {
       serve_opt.cache_path = next();
     } else if (arg == "--max-cache-entries") {
       serve_opt.max_cache_entries = parse_size(arg, next());
+    } else if (arg == "--heartbeat") {
+      serve_opt.heartbeat_seconds = parse_double(arg, next());
     } else if (arg == "--portfolio") {
       serve_opt.portfolio = true;
     } else if (arg == "--ping") {
       serve_opt.ping = true;
     } else if (arg == "--stats") {
       serve_opt.stats = true;
+    } else if (arg == "--metrics") {
+      serve_opt.metrics = true;
     } else if (arg == "--shutdown") {
       serve_opt.shutdown = true;
     } else if (arg == "--vcd") {
@@ -725,7 +809,16 @@ int main(int argc, char** argv) {
     }
   }
 
-  try {
+  // --trace wraps the whole command: every worker thread created after
+  // start_tracing() records spans, and the file is written even when the
+  // command exits with a verdict or failure code.
+  const bool tracing = !vopts.trace_path.empty();
+  if (tracing) {
+    obs::start_tracing();
+    obs::set_thread_name("main");
+  }
+
+  auto dispatch = [&]() -> int {
     if (cmd == "verify" && !files.empty()) return cmd_verify(files, vopts);
     if (cmd == "suite" && !files.empty()) return cmd_suite(files, vopts);
     if (cmd == "portfolio" && !files.empty())
@@ -746,9 +839,22 @@ int main(int argc, char** argv) {
     if (cmd == "ipcmos") return cmd_ipcmos(vopts);
     if (cmd == "serve" && files.empty()) return cmd_serve(serve_opt, vopts);
     if (cmd == "client") return cmd_client(files, serve_opt, vopts);
+    return usage();
+  };
+
+  int rc;
+  try {
+    rc = dispatch();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return kExitRuntime;
+    rc = kExitRuntime;
   }
-  return usage();
+  if (tracing) {
+    if (obs::write_trace(vopts.trace_path))
+      std::fprintf(stderr, "trace written to %s\n", vopts.trace_path.c_str());
+    else
+      std::fprintf(stderr, "error: cannot write trace to %s\n",
+                   vopts.trace_path.c_str());
+  }
+  return rc;
 }
