@@ -1,0 +1,132 @@
+// Lint throughput and pre-flight overhead on the IPCMOS Table 1 suite.
+//
+// The analyzer's contract is "cheap enough to run before every engine
+// invocation": a purely structural pass, linear in the component sizes,
+// no composition.  This bench makes the contract measurable on the
+// paper's own workload — (a) standalone throughput, obligations (models)
+// linted per second over the five Table 1 obligations, and (b) the
+// run_suite() pre-flight's share of one real suite run, as
+// lint-pass-seconds / suite-wall-seconds.  The acceptance bar is <1% —
+// the pre-flight must be invisible next to any actual engine work.
+// Exit 1 when the share exceeds the threshold (--max-overhead-pct to
+// widen on noisy shared runners).
+//
+// Writes a machine-readable summary to BENCH_lint.json (--json to
+// rename).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "rtv/ipcmos/experiments.hpp"
+#include "rtv/lint/lint.hpp"
+#include "rtv/verify/suite.hpp"
+
+using namespace rtv;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_lint.json";
+  double max_overhead_pct = 1.0;
+  int reps = 200;
+  std::size_t jobs = 0;  // suite default: all hardware threads
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(64);
+      }
+      return argv[++i];
+    };
+    if (arg == "--json") json_path = next();
+    else if (arg == "--max-overhead-pct") max_overhead_pct = std::atof(next());
+    else if (arg == "--reps") reps = std::atoi(next());
+    else if (arg == "--jobs") jobs = static_cast<std::size_t>(std::atoll(next()));
+    else {
+      std::fprintf(stderr, "usage: lint_throughput [--json FILE] [--reps N]\n"
+                           "       [--jobs N] [--max-overhead-pct P]\n");
+      return 64;
+    }
+  }
+
+  const Suite suite = ipcmos::table1_suite();
+  SuiteOptions sopts;
+  sopts.jobs = jobs;
+
+  std::printf("lint_throughput — IPCMOS Table 1 (%zu obligations)\n",
+              suite.size());
+
+  // (a) Standalone throughput: full pre-flight passes (engine/budget
+  // resolution included), best of `reps` to shed scheduler noise.
+  std::size_t findings = 0;
+  double best_pass = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    findings = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const Obligation& ob : suite.obligations())
+      findings += lint::lint_obligation(ob, sopts).diagnostics.size();
+    const double wall = seconds_since(t0);
+    if (rep == 0 || wall < best_pass) best_pass = wall;
+  }
+  const double models_per_sec =
+      best_pass > 0 ? static_cast<double>(suite.size()) / best_pass : 0.0;
+  std::printf("lint alone: %.0f models/sec (best pass %.0f us, %zu "
+              "finding(s))\n",
+              models_per_sec, best_pass * 1e6, findings);
+
+  // (b) Pre-flight share of a real run: one suite pass with the
+  // pre-flight on (the default), charged against the measured per-pass
+  // lint cost.  A direct on-vs-off wall-clock diff would drown in engine
+  // noise at sub-percent scales — the ratio is the honest number.
+  const auto t0 = std::chrono::steady_clock::now();
+  const SuiteReport report = run_suite(suite, sopts);
+  const double suite_wall = seconds_since(t0);
+  std::size_t rejected = 0;
+  for (const SuiteRecord& rec : report.records)
+    if (rec.result.truncated_reason == stop_reason::kLintError) ++rejected;
+  const double overhead_pct =
+      suite_wall > 0 ? best_pass / suite_wall * 100.0 : 0.0;
+
+  std::printf("suite wall: %.3fs (%zu records, %zu lint-rejected)\n",
+              suite_wall, report.records.size(), rejected);
+  std::printf("pre-flight share: %.4f%% (threshold %.2f%%)\n", overhead_pct,
+              max_overhead_pct);
+  if (rejected != 0)
+    std::printf("WARNING: Table 1 obligations must lint clean of errors\n");
+
+  std::string json = "{\"bench\":\"lint_throughput\",\"workload\":"
+                     "\"ipcmos-table1\",\"obligations\":";
+  json += std::to_string(suite.size());
+  json += ",\"jobs\":" + std::to_string(jobs);
+  json += ",\"reps\":" + std::to_string(reps);
+  json += ",\"findings\":" + std::to_string(findings);
+  json += ",\"lint_rejected\":" + std::to_string(rejected);
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                ",\"lint_pass_seconds\":%.9f,\"models_per_sec\":%.1f,"
+                "\"suite_seconds\":%.6f,\"overhead_pct\":%.6f}",
+                best_pass, models_per_sec, suite_wall, overhead_pct);
+  json += buf;
+  json += '\n';
+  std::ofstream out(json_path);
+  out << json;
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+    return 70;
+  }
+  std::printf("JSON written to %s\n", json_path.c_str());
+
+  return overhead_pct <= max_overhead_pct && rejected == 0 ? 0 : 1;
+}

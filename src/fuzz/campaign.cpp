@@ -7,6 +7,7 @@
 
 #include "rtv/base/hash.hpp"
 #include "rtv/base/json.hpp"
+#include "rtv/lint/lint.hpp"
 #include "rtv/ts/compose.hpp"
 #include "rtv/verify/suite.hpp"
 
@@ -86,6 +87,7 @@ const char* to_string(FailureKind kind) {
     case FailureKind::kDisagreement: return "disagreement";
     case FailureKind::kBadTrace: return "bad-trace";
     case FailureKind::kEngineError: return "engine-error";
+    case FailureKind::kLintMismatch: return "lint-mismatch";
   }
   return "?";
 }
@@ -133,6 +135,35 @@ CaseResult run_case(std::uint64_t seed, const GeneratorConfig& config,
     f.detail = sc.describe() + ": " + std::move(detail);
     out.failure = std::move(f);
   };
+
+  // Lint cross-check, both directions: the standalone analyzer and the
+  // suite's pre-flight must agree on every generated scenario.  The
+  // generator only builds well-formed scenarios, so direction one is the
+  // interesting oracle: a lint-clean scenario dying with kLintError means
+  // the pre-flight and the analyzer drifted apart.
+  {
+    lint::LintOptions lo;
+    lo.engines = options.engines;
+    lo.max_states = options.max_states;
+    const lint::LintReport pre =
+        lint::lint_modules(sc.module_ptrs(), sc.property_ptrs(), lo);
+    bool suite_rejected = false;
+    for (const SuiteRecord& rec : report.records)
+      if (rec.result.truncated_reason == stop_reason::kLintError)
+        suite_rejected = true;
+    if (!pre.has_errors() && suite_rejected) {
+      fail(FailureKind::kLintMismatch,
+           "suite pre-flight rejected a lint-clean scenario");
+      return out;
+    }
+    if (pre.has_errors() && out.definitive > 0) {
+      fail(FailureKind::kLintMismatch,
+           "lint reports errors yet engines returned definitive verdicts "
+           "(first error: " +
+               pre.diagnostics.front().format() + ")");
+      return out;
+    }
+  }
 
   if (errored) {
     fail(FailureKind::kEngineError,

@@ -10,8 +10,12 @@
 //     truncation can't fake or mask a disagreement;
 //   * a violated verdict's counterexample trace does not replay through
 //     the sequential composition (every step must have a composed
-//     transition, except a final refused label); or
-//   * an engine throws instead of returning a result.
+//     transition, except a final refused label);
+//   * an engine throws instead of returning a result; or
+//   * the static analyzer (rtv/lint) and the suite scheduler disagree
+//     about the scenario: a lint-clean scenario dies with a lint
+//     pre-flight rejection, or a scenario lint calls broken still gets
+//     definitive verdicts from the engines.
 //
 // Failures carry a self-contained reproducer — the case seed plus the
 // generator config, delta-debugged down to a minimal failing config when
@@ -74,6 +78,7 @@ enum class FailureKind {
   kDisagreement,  ///< contradictory definitive verdicts
   kBadTrace,      ///< a violation trace that does not replay
   kEngineError,   ///< an engine threw
+  kLintMismatch,  ///< lint and the suite scheduler disagree on the scenario
 };
 
 const char* to_string(FailureKind kind);

@@ -1,0 +1,92 @@
+// Structured lint diagnostics.
+//
+// Every finding of the static analyzer (rtv/lint/lint.hpp) is one
+// Diagnostic: a stable check code ("RTV-L004"), a severity, a location
+// naming the module and the object inside it (event label, signal,
+// property or state name), and a human-readable message.  A LintReport
+// aggregates the findings of one obligation with severity counts, a
+// CLI-ready text rendering and a schema-versioned JSON form
+// (rtv/base/json.hpp), round-trippable through parse_lint_report() so
+// scripted consumers — CI gates, the serve wire, the suite report's
+// per-record `lint` field — never scrape the human text.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rtv/base/json.hpp"
+
+namespace rtv::lint {
+
+/// Severities, strictest first.  Errors predict a run that cannot give a
+/// useful answer (the suite pre-flight short-circuits them to
+/// kInconclusive); warnings flag likely modelling mistakes or predictable
+/// engine pain but never block a run; notes are informational.
+enum class Severity {
+  kError,
+  kWarning,
+  kNote,
+};
+
+const char* to_string(Severity s);
+/// Inverse of to_string(); throws std::runtime_error on an unknown name.
+Severity severity_from_string(const std::string& s);
+
+/// One finding.  `module` and `object` may be empty when the finding is
+/// obligation-wide (e.g. a cross-module contradiction names the modules in
+/// the message instead).
+struct Diagnostic {
+  std::string code;     ///< stable check code, e.g. "RTV-L004"
+  Severity severity = Severity::kWarning;
+  std::string module;   ///< module the finding is anchored in ("" = none)
+  std::string object;   ///< event label / signal / property / state ("")
+  std::string message;  ///< human-readable explanation
+
+  /// One-line rendering: "error RTV-L004 [mod/obj]: message".
+  std::string format() const;
+};
+
+/// Append one diagnostic as a JSON object (the shared shape used by the
+/// lint report and by SuiteReport records).
+void append_diagnostic(std::string& out, const Diagnostic& d);
+
+/// Parse one diagnostic object; `context` prefixes error messages.
+Diagnostic diagnostic_from_json(const json::Value& v, std::string_view context);
+
+/// The findings of one lint pass, severity-ordered (errors first, then
+/// warnings, then notes; stable within a severity).
+struct LintReport {
+  /// Bumped whenever the JSON layout changes incompatibly.
+  static constexpr int kSchemaVersion = 1;
+  static constexpr const char* kSchemaName = "rtv-lint-report";
+
+  std::vector<Diagnostic> diagnostics;
+
+  std::size_t count(Severity s) const;
+  std::size_t errors() const { return count(Severity::kError); }
+  std::size_t warnings() const { return count(Severity::kWarning); }
+  std::size_t notes() const { return count(Severity::kNote); }
+  bool has_errors() const { return errors() > 0; }
+  bool clean() const { return diagnostics.empty(); }
+
+  /// CLI/CI exit-code convention of `rtv lint`: 0 = clean (notes do not
+  /// dirty a model), 1 = warnings, 2 = errors.
+  int exit_code() const;
+
+  /// Severity-sort in place (errors, warnings, notes; stable otherwise).
+  void sort_by_severity();
+
+  /// Human rendering: one format() line per diagnostic plus a summary
+  /// line ("lint: 1 error, 2 warnings" or "lint: clean").
+  std::string format() const;
+
+  /// Stable machine-readable serialization (see docs/LINT.md).
+  std::string to_json() const;
+};
+
+/// Parse a to_json() document back; throws std::runtime_error on malformed
+/// JSON, a wrong schema tag, or a version newer than this library (strict
+/// in both directions, like the suite report parser).
+LintReport parse_lint_report(const std::string& json);
+
+}  // namespace rtv::lint

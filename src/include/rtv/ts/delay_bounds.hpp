@@ -1,0 +1,43 @@
+// Cross-module delay-bound consistency: the one check shared by compose()
+// and the lint analyzer (rtv/lint/lint.hpp).
+//
+// A label synchronised by several modules fires under the *intersection*
+// of every participant's delay bounds; an empty intersection leaves the
+// event forever unfireable — a modelling contradiction, not a composable
+// system.  compose() throws std::invalid_argument the moment it meets one;
+// `rtv lint` reports the same finding (code RTV-L004) *before* composition
+// with full context.  Both sides build their message with
+// describe_delay_contradiction(), so the runtime error text and the lint
+// diagnostic can never drift apart.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rtv/base/interval.hpp"
+#include "rtv/ts/module.hpp"
+
+namespace rtv {
+
+/// One label whose per-module delay bounds intersect to the empty set.
+struct DelayContradiction {
+  std::string label;
+  /// Every module declaring the label, with its declared bounds, in
+  /// module order (matching the modules vector the check ran over).
+  std::vector<std::pair<std::string, DelayInterval>> participants;
+};
+
+/// Scan every shared label of `modules` and collect the ones whose bound
+/// intersection is empty, in sorted label order.  Purely structural: no
+/// state exploration, no composition.
+std::vector<DelayContradiction> find_delay_contradictions(
+    const std::vector<const Module*>& modules);
+
+/// The canonical message for one contradiction — exactly the text
+/// compose() throws, e.g.:
+///   compose: contradictory delay bounds for label 'x+': early declares
+///   [0.25, 0.50] late declares [1.25, 2.25] (empty intersection)
+std::string describe_delay_contradiction(const DelayContradiction& c);
+
+}  // namespace rtv

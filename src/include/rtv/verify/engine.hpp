@@ -124,6 +124,10 @@ inline constexpr const char* kDigitizationRange =
 /// contradictory delay bounds); the what() string goes in
 /// EngineResult::message.
 inline constexpr const char* kEngineError = "engine raised an error";
+/// The obligation never reached an engine: the run_suite() / serve lint
+/// pre-flight (rtv/lint/lint.hpp) found error-severity diagnostics.  The
+/// first error's formatted text goes in EngineResult::message.
+inline constexpr const char* kLintError = "rejected by lint pre-flight";
 }  // namespace stop_reason
 
 /// Hot-loop guard threading one RunBudget's deadline + cancellation (and

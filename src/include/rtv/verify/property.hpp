@@ -58,6 +58,11 @@ class InvariantProperty final : public SafetyProperty {
   std::string name() const override { return name_; }
   std::optional<std::string> check_state(const PropertyContext&) const override;
 
+  /// The forbidden conjunction, for static analysis (rtv/lint): dangling
+  /// signal references and contradictory literals are knowable without
+  /// running any engine.
+  const std::vector<Literal>& forbidden() const { return forbidden_; }
+
  private:
   std::string name_;
   std::vector<Literal> forbidden_;
@@ -84,6 +89,10 @@ class PersistencyProperty final : public SafetyProperty {
   std::optional<std::string> check_event(
       const PropertyContext&, EventId event, StateId successor,
       const std::vector<EventId>& successor_enabled) const override;
+
+  /// Exempt labels (sorted), for static analysis (rtv/lint): an exempt
+  /// label no module declares is a dangling reference.
+  const std::vector<std::string>& exempt() const { return exempt_; }
 
  private:
   std::vector<std::string> exempt_;

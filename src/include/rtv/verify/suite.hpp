@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "rtv/base/json.hpp"
+#include "rtv/lint/diagnostic.hpp"
 #include "rtv/ts/module.hpp"
 #include "rtv/verify/engine.hpp"
 #include "rtv/verify/property.hpp"
@@ -125,6 +126,11 @@ struct SuiteOptions {
   /// lock, from worker threads).
   ProgressFn progress;
   std::size_t progress_interval = kDefaultProgressInterval;
+  /// Run the lint pre-flight (rtv/lint/lint.hpp) over every obligation
+  /// before scheduling.  Obligations with error-severity diagnostics are
+  /// answered kInconclusive with stop_reason::kLintError without invoking
+  /// any engine; warnings attach to the obligation's SuiteRecords.
+  bool preflight = true;
 };
 
 // ---------------------------------------------------------------------------
@@ -148,6 +154,11 @@ struct SuiteRecord {
   /// cpu_seconds then report the *original* computation, not this
   /// request's O(1) lookup.
   bool cached = false;
+  /// Lint diagnostics of the obligation's pre-flight (empty when the
+  /// pre-flight is disabled or found nothing).  With errors present the
+  /// record is a short-circuit: verdict kInconclusive, truncated_reason
+  /// stop_reason::kLintError, no engine ran.
+  std::vector<lint::Diagnostic> lint;
 };
 
 /// Per-obligation roll-up of a report's records.

@@ -1,0 +1,90 @@
+// Lint driver: precompute per-module reachability facts, run the check
+// families, severity-sort the findings.
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "checks.hpp"
+#include "rtv/lint/lint.hpp"
+#include "rtv/verify/engine.hpp"
+
+namespace rtv::lint {
+
+namespace {
+
+bool selection_digitizes(const std::vector<std::string>& engines) {
+  // An empty selection means "unknown" — keep engine-specific checks
+  // armed rather than silently skipping them.
+  if (engines.empty()) return true;
+  return std::find(engines.begin(), engines.end(), "discrete") !=
+         engines.end();
+}
+
+bool selection_only_digitizes(const std::vector<std::string>& engines) {
+  if (engines.empty()) return false;  // unknown: assume a peer may decide
+  return std::all_of(engines.begin(), engines.end(),
+                     [](const std::string& e) { return e == "discrete"; });
+}
+
+}  // namespace
+
+LintReport lint_modules(const std::vector<const Module*>& modules,
+                        const std::vector<const SafetyProperty*>& properties,
+                        const LintOptions& options) {
+  LintReport report;
+  CheckContext ctx{modules,
+                   properties,
+                   options,
+                   selection_digitizes(options.engines),
+                   selection_only_digitizes(options.engines),
+                   {},
+                   {},
+                   report.diagnostics};
+
+  if (modules.empty()) {
+    ctx.emit(check::kNoInitialState, Severity::kError, "", "",
+             "obligation carries no modules — nothing to verify");
+    return report;
+  }
+
+  ctx.reachable.resize(modules.size());
+  ctx.fireable.resize(modules.size());
+  for (std::size_t mi = 0; mi < modules.size(); ++mi) {
+    const TransitionSystem& ts = modules[mi]->ts();
+    ctx.fireable[mi].assign(ts.num_events(), false);
+    const StateId init = ts.initial();
+    if (!init.valid() || init.value() >= ts.num_states()) continue;
+    ctx.reachable[mi] = ts.reachable_states();
+    for (const StateId s : ctx.reachable[mi])
+      for (const Transition& t : ts.transitions_from(s))
+        ctx.fireable[mi][t.event.value()] = true;
+  }
+
+  check_well_formed(ctx);
+  check_reachability(ctx);
+  check_engine_range(ctx);
+
+  report.sort_by_severity();
+  return report;
+}
+
+LintReport lint_obligation(const Obligation& obligation,
+                           const SuiteOptions& options) {
+  // Mirror run_suite()'s engine and budget resolution exactly, so the
+  // pre-flight judges the obligation the scheduler will actually run.
+  LintOptions lo;
+  if (options.mode == SuiteMode::kBatch && !obligation.engine.empty())
+    lo.engines = {obligation.engine};
+  else if (!options.engines.empty())
+    lo.engines = options.engines;
+  else if (options.mode == SuiteMode::kBatch)
+    lo.engines = {"refine"};
+  else
+    lo.engines = engine_registry().names();
+  lo.max_states = obligation.budget.max_states ? obligation.budget.max_states
+                                               : options.budget.max_states;
+  return lint_modules(obligation.modules, obligation.properties, lo);
+}
+
+}  // namespace rtv::lint

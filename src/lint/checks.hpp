@@ -1,0 +1,51 @@
+// Internal seam between the lint driver (analyzer.cpp) and the check
+// families.  Not installed: the public surface is rtv/lint/lint.hpp.
+#pragma once
+
+#include <vector>
+
+#include "rtv/lint/lint.hpp"
+
+namespace rtv::lint {
+
+/// Shared state of one lint pass.  The driver precomputes the per-module
+/// reachability facts once; every check family reads them.
+struct CheckContext {
+  const std::vector<const Module*>& modules;
+  const std::vector<const SafetyProperty*>& properties;
+  const LintOptions& options;
+  /// Engine-range checks only arm when the obligation can reach the
+  /// digitizing engine ("discrete" selected, or selection unknown).
+  bool targets_discrete = true;
+  /// True when *every* selected engine digitizes: certain discrete
+  /// truncation then dooms the whole obligation (error); with a
+  /// non-digitizing peer in the selection it only wastes one engine's
+  /// budget (warning).
+  bool only_discrete = false;
+  /// Per module: reachable states in BFS order (empty when the module has
+  /// no valid initial state — the well-formedness error covers that).
+  std::vector<std::vector<StateId>> reachable;
+  /// Per module, per event: true iff some reachable state has a
+  /// transition labelled by the event (i.e. the event can ever fire).
+  std::vector<std::vector<bool>> fireable;
+  std::vector<Diagnostic>& out;
+
+  void emit(const char* code, Severity severity, std::string module,
+            std::string object, std::string message) {
+    out.push_back(Diagnostic{code, severity, std::move(module),
+                             std::move(object), std::move(message)});
+  }
+};
+
+/// RTV-L001..L006, L009, L010: structure of modules and properties.
+void check_well_formed(CheckContext& ctx);
+
+/// RTV-L007, L008, L014, L015: facts derivable from per-module
+/// reachability (never from the composition).
+void check_reachability(CheckContext& ctx);
+
+/// RTV-L011..L013: delay constants vs. the time-infinity sentinel, the
+/// digitized state budget and the historical 16-bit age range.
+void check_engine_range(CheckContext& ctx);
+
+}  // namespace rtv::lint

@@ -1,0 +1,117 @@
+// Static reachability: facts derivable from each component's own state
+// graph, without composing.  These are warnings, not errors — a
+// never-firing event or a constant signal is usually a modelling mistake
+// (a typo in a transition, a monitor wired to the wrong node), but the
+// engines still produce a sound verdict on such models.
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "checks.hpp"
+
+namespace rtv::lint {
+
+namespace {
+
+void check_unfireable_events(CheckContext& ctx) {
+  // RTV-L007: declared but never enabled at any reachable state.
+  for (std::size_t mi = 0; mi < ctx.modules.size(); ++mi) {
+    const TransitionSystem& ts = ctx.modules[mi]->ts();
+    if (ctx.reachable[mi].empty()) continue;  // RTV-L001 covers this module
+    for (std::size_t ei = 0; ei < ts.num_events(); ++ei) {
+      if (ctx.fireable[mi][ei]) continue;
+      const std::string& label =
+          ts.label(EventId(static_cast<std::uint32_t>(ei)));
+      ctx.emit(check::kUnfireableEvent, Severity::kWarning,
+               ctx.modules[mi]->name(), label,
+               "event '" + label +
+                   "' is declared but labels no transition from any "
+                   "reachable state — it can never fire");
+    }
+  }
+}
+
+void check_dead_signals(CheckContext& ctx) {
+  // RTV-L008: a signal whose value never changes across the reachable
+  // states.  Invariants over such a signal are decided by the initial
+  // valuation alone.
+  for (std::size_t mi = 0; mi < ctx.modules.size(); ++mi) {
+    const TransitionSystem& ts = ctx.modules[mi]->ts();
+    if (!ts.has_valuations() || ts.signal_names().empty()) continue;
+    if (ctx.reachable[mi].size() < 2) continue;  // trivially constant
+    const BitVec& first = ts.valuation(ctx.reachable[mi].front());
+    for (std::size_t si = 0; si < ts.signal_names().size(); ++si) {
+      bool constant = true;
+      for (const StateId s : ctx.reachable[mi]) {
+        if (ts.valuation(s).test(si) != first.test(si)) {
+          constant = false;
+          break;
+        }
+      }
+      if (!constant) continue;
+      ctx.emit(check::kDeadSignal, Severity::kWarning,
+               ctx.modules[mi]->name(), ts.signal_names()[si],
+               "signal '" + ts.signal_names()[si] + "' holds value " +
+                   (first.test(si) ? "1" : "0") +
+                   " at every reachable state — invariants over it are "
+                   "decided by the initial valuation alone");
+    }
+  }
+}
+
+void check_disjoint_alphabets(CheckContext& ctx) {
+  // RTV-L014: in a multi-module obligation, a module sharing no label
+  // with any other composes by pure interleaving — it constrains nothing
+  // and multiplies the state space.
+  if (ctx.modules.size() < 2) return;
+  for (std::size_t mi = 0; mi < ctx.modules.size(); ++mi) {
+    bool shares = false;
+    for (const std::string& label : ctx.modules[mi]->alphabet()) {
+      for (std::size_t mj = 0; mj < ctx.modules.size() && !shares; ++mj)
+        if (mj != mi && ctx.modules[mj]->has_label(label)) shares = true;
+      if (shares) break;
+    }
+    if (shares) continue;
+    ctx.emit(check::kDisjointAlphabet, Severity::kWarning,
+             ctx.modules[mi]->name(), "",
+             "module shares no label with any other module of this "
+             "obligation — it composes by pure interleaving and "
+             "constrains nothing");
+  }
+}
+
+void check_trivial_deadlock(CheckContext& ctx) {
+  // RTV-L015: for a single-module obligation the composition is the
+  // module itself, so a reachable sink state *is* the deadlock the
+  // engines will report.  Only statically decidable without composition
+  // in the single-module case.
+  if (ctx.modules.size() != 1) return;
+  bool wants_deadlock_freedom = false;
+  for (const SafetyProperty* p : ctx.properties)
+    if (dynamic_cast<const DeadlockFreedom*>(p)) wants_deadlock_freedom = true;
+  if (!wants_deadlock_freedom) return;
+
+  const TransitionSystem& ts = ctx.modules[0]->ts();
+  for (const StateId s : ctx.reachable[0]) {
+    if (!ts.transitions_from(s).empty()) continue;
+    std::string where = ts.state_name(s);
+    if (where.empty()) where = "state #" + std::to_string(s.value());
+    ctx.emit(check::kTrivialDeadlock, Severity::kWarning,
+             ctx.modules[0]->name(), where,
+             "deadlock-freedom is requested but reachable state '" + where +
+                 "' has no outgoing transitions — the violation is "
+                 "statically evident");
+    return;  // one finding is enough
+  }
+}
+
+}  // namespace
+
+void check_reachability(CheckContext& ctx) {
+  check_unfireable_events(ctx);
+  check_dead_signals(ctx);
+  check_disjoint_alphabets(ctx);
+  check_trivial_deadlock(ctx);
+}
+
+}  // namespace rtv::lint

@@ -1,0 +1,143 @@
+// Well-formedness: structure of modules and properties that engines either
+// reject mid-run (compose() throws on contradictory bounds) or — worse —
+// silently absorb (a dangling invariant signal verifies vacuously).
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "checks.hpp"
+#include "rtv/ts/delay_bounds.hpp"
+
+namespace rtv::lint {
+
+namespace {
+
+bool any_module_declares_signal(const std::vector<const Module*>& modules,
+                                const std::string& signal) {
+  for (const Module* m : modules)
+    if (m->ts().signal_index(signal) != static_cast<std::size_t>(-1))
+      return true;
+  return false;
+}
+
+bool any_module_declares_label(const std::vector<const Module*>& modules,
+                               const std::string& label) {
+  for (const Module* m : modules)
+    if (m->ts().event_by_label(label).valid()) return true;
+  return false;
+}
+
+void check_module_structure(CheckContext& ctx) {
+  for (const Module* m : ctx.modules) {
+    const TransitionSystem& ts = m->ts();
+
+    // RTV-L001: no reachability root — every engine starts at initial().
+    const StateId init = ts.initial();
+    if (!init.valid() || init.value() >= ts.num_states()) {
+      ctx.emit(check::kNoInitialState, Severity::kError, m->name(), "",
+               "module declares no initial state; every engine needs a "
+               "reachability root");
+    }
+
+    std::unordered_map<std::string, std::size_t> label_count;
+    for (std::size_t ei = 0; ei < ts.num_events(); ++ei) {
+      const Event& ev = ts.event(EventId(static_cast<std::uint32_t>(ei)));
+
+      // RTV-L002: delay bounds violating the 0 <= lo <= hi invariant.
+      if (!ev.delay.valid()) {
+        ctx.emit(check::kInvalidInterval, Severity::kError, m->name(),
+                 ev.label,
+                 "event '" + ev.label + "' declares invalid delay bounds " +
+                     ev.delay.to_string() + " (need 0 <= lo <= hi)");
+      }
+      ++label_count[ev.label];
+    }
+
+    // RTV-L003: duplicate labels — event_by_label() resolves to the first
+    // declaration, so the later ones are unreachable aliases.
+    for (std::size_t ei = 0; ei < ts.num_events(); ++ei) {
+      const std::string& label =
+          ts.label(EventId(static_cast<std::uint32_t>(ei)));
+      auto it = label_count.find(label);
+      if (it == label_count.end() || it->second < 2) continue;
+      ctx.emit(check::kDuplicateLabel, Severity::kError, m->name(), label,
+               "label '" + label + "' is declared by " +
+                   std::to_string(it->second) +
+                   " events of this module; lookups resolve to the first, "
+                   "the others can never fire");
+      label_count.erase(it);  // one finding per duplicated label
+    }
+  }
+}
+
+void check_delay_contradictions(CheckContext& ctx) {
+  // RTV-L004: the shared compose() check (rtv/ts/delay_bounds.hpp) —
+  // identical message text, reported before composition.
+  for (const DelayContradiction& c : find_delay_contradictions(ctx.modules))
+    ctx.emit(check::kDelayContradiction, Severity::kError, "", c.label,
+             describe_delay_contradiction(c));
+}
+
+void check_properties(CheckContext& ctx) {
+  for (const SafetyProperty* p : ctx.properties) {
+    if (const auto* inv = dynamic_cast<const InvariantProperty*>(p)) {
+      // RTV-L009: an empty forbidden conjunction holds at every state —
+      // the invariant is violated everywhere, trivially unsatisfiable.
+      if (inv->forbidden().empty()) {
+        ctx.emit(check::kEmptyInvariant, Severity::kError, "", inv->name(),
+                 "invariant '" + inv->name() +
+                     "' forbids an empty conjunction, which holds at every "
+                     "state — the property is trivially violated");
+        continue;
+      }
+      bool tautological = false;
+      for (const InvariantProperty::Literal& lit : inv->forbidden()) {
+        // RTV-L005: a literal over a signal no module declares is never
+        // satisfied — engines skip the whole conjunction, so the property
+        // verifies vacuously no matter what the system does.
+        if (!any_module_declares_signal(ctx.modules, lit.signal)) {
+          ctx.emit(check::kDanglingSignal, Severity::kError, "", inv->name(),
+                   "invariant '" + inv->name() + "' references signal '" +
+                       lit.signal +
+                       "' which no module declares; the property can never "
+                       "fire and verifies vacuously");
+        }
+        // RTV-L010: s & !s can never hold together.
+        for (const InvariantProperty::Literal& other : inv->forbidden())
+          if (&other != &lit && other.signal == lit.signal &&
+              other.value != lit.value)
+            tautological = true;
+      }
+      if (tautological) {
+        ctx.emit(check::kTautologicalInvariant, Severity::kWarning, "",
+                 inv->name(),
+                 "invariant '" + inv->name() +
+                     "' forbids a contradictory conjunction (a signal and "
+                     "its negation) — it can never fire and verifies "
+                     "vacuously");
+      }
+    } else if (const auto* pers =
+                   dynamic_cast<const PersistencyProperty*>(p)) {
+      // RTV-L006: an exempt label no module declares exempts nothing.
+      for (const std::string& label : pers->exempt()) {
+        if (!any_module_declares_label(ctx.modules, label)) {
+          ctx.emit(check::kDanglingExempt, Severity::kWarning, "", p->name(),
+                   "persistency exemption names label '" + label +
+                       "' which no module declares — the exemption has no "
+                       "effect");
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void check_well_formed(CheckContext& ctx) {
+  check_module_structure(ctx);
+  check_delay_contradictions(ctx);
+  check_properties(ctx);
+}
+
+}  // namespace rtv::lint

@@ -93,6 +93,10 @@ bool cacheable(const CachedOutcome& outcome) {
     if (r.winner) has_winner = true;
   for (const CachedRecord& r : outcome.records) {
     if (r.stop_reason == stop_reason::kEngineError) return false;
+    // Lint rejections are answered on the request path without touching
+    // the cache; a record that slipped through anyway (e.g. a pre-flight
+    // inside run_suite) must not displace computable entries either.
+    if (r.stop_reason == stop_reason::kLintError) return false;
     if (r.stop_reason == stop_reason::kCancelled && !has_winner) return false;
   }
   return true;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "rtv/base/parallel.hpp"
+#include "rtv/lint/lint.hpp"
 #include "rtv/obs/metrics.hpp"
 #include "rtv/obs/trace.hpp"
 #include "rtv/verify/engine.hpp"
@@ -382,6 +383,38 @@ struct Server::Impl {
             ob, req.mode, engines, eff_states, eff_seconds, eff_refinements);
         obligations.fetch_add(1, std::memory_order_relaxed);
 
+        // Lint fast-reject: an obligation whose pre-flight has errors is
+        // answered right here — no job, no scheduler wake-up, and the
+        // verdict cache never sees the key (a broken model must not
+        // displace computable entries).
+        {
+          std::vector<std::unique_ptr<SafetyProperty>> props;
+          std::vector<const SafetyProperty*> prop_ptrs;
+          for (const PropertySpec& spec : ob.properties) {
+            props.push_back(spec.instantiate());
+            prop_ptrs.push_back(props.back().get());
+          }
+          lint::LintOptions lo;
+          lo.engines = engines;
+          lo.max_states = eff_states;
+          const lint::LintReport pre =
+              lint::lint_modules(ob.module_ptrs(), prop_ptrs, lo);
+          if (pre.has_errors()) {
+            lint_rejected.fetch_add(1, std::memory_order_relaxed);
+            m_lint_rejected.inc();
+            for (const std::string& engine : engines) {
+              CachedRecord r;
+              r.engine = engine;
+              r.verdict = Verdict::kInconclusive;
+              r.stop_reason = stop_reason::kLintError;
+              r.message = pre.diagnostics.front().format();
+              p.outcome.records.push_back(std::move(r));
+            }
+            pending.push_back(std::move(p));
+            continue;
+          }
+        }
+
         std::lock_guard<std::mutex> lock(dispatch_mutex);
         if (cache.get(key, &p.outcome)) {
           p.cached = true;
@@ -586,6 +619,7 @@ struct Server::Impl {
     s.cache_hits = cache_hits.load(std::memory_order_relaxed);
     s.deduped = deduped.load(std::memory_order_relaxed);
     s.computed = computed.load(std::memory_order_relaxed);
+    s.lint_rejected = lint_rejected.load(std::memory_order_relaxed);
     s.errors = errors.load(std::memory_order_relaxed);
     s.cache_entries = cache.size();
     s.cache_evictions = cache.stats().evictions;
@@ -630,6 +664,7 @@ struct Server::Impl {
   std::atomic<std::uint64_t> cache_hits{0};
   std::atomic<std::uint64_t> deduped{0};
   std::atomic<std::uint64_t> computed{0};
+  std::atomic<std::uint64_t> lint_rejected{0};
   std::atomic<std::uint64_t> errors{0};
 
   // Registry mirrors of the wire-visible counters, registered eagerly so
@@ -647,6 +682,9 @@ struct Server::Impl {
   obs::Counter& m_computed = obs::Registry::global().counter(
       "rtv_serve_computed_total", "",
       "Obligations actually dispatched to run_suite");
+  obs::Counter& m_lint_rejected = obs::Registry::global().counter(
+      "rtv_serve_lint_rejected_total", "",
+      "Obligations fast-rejected by the lint pre-flight");
   obs::Counter& m_errors = obs::Registry::global().counter(
       "rtv_serve_errors_total", "", "Requests answered ok:false");
   obs::Histogram& m_request_seconds = obs::Registry::global().histogram(

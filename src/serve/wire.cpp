@@ -507,6 +507,7 @@ void stats_to_json(std::string& out, const ServeStats& s) {
   out += ",\"cache_hits\":" + std::to_string(s.cache_hits);
   out += ",\"deduped\":" + std::to_string(s.deduped);
   out += ",\"computed\":" + std::to_string(s.computed);
+  out += ",\"lint_rejected\":" + std::to_string(s.lint_rejected);
   out += ",\"errors\":" + std::to_string(s.errors);
   out += ",\"cache_entries\":" + std::to_string(s.cache_entries);
   out += ",\"cache_evictions\":" + std::to_string(s.cache_evictions);
@@ -534,6 +535,14 @@ ServeStats stats_from_json(const Value& v) {
   s.cache_hits = u64_from(v, "cache_hits", ctx);
   s.deduped = u64_from(v, "deduped", ctx);
   s.computed = u64_from(v, "computed", ctx);
+  // Optional: absent in stats written by daemons predating the lint
+  // pre-flight; the default 0 is exact for them.
+  if (const Value* lr = v.find("lint_rejected")) {
+    if (lr->kind != Kind::kNumber)
+      throw std::runtime_error(
+          "serve response JSON: lint_rejected is not a number");
+    s.lint_rejected = static_cast<std::uint64_t>(lr->number);
+  }
   s.errors = u64_from(v, "errors", ctx);
   s.cache_entries = u64_from(v, "cache_entries", ctx);
   s.cache_evictions = u64_from(v, "cache_evictions", ctx);

@@ -11,6 +11,7 @@
 #include "rtv/base/hash.hpp"
 #include "rtv/base/log.hpp"
 #include "rtv/base/parallel.hpp"
+#include "rtv/ts/delay_bounds.hpp"
 
 namespace rtv {
 
@@ -93,18 +94,18 @@ Composition compose(const std::vector<const Module*>& modules,
       // An empty intersection would leave the event forever unfireable —
       // a modelling contradiction, not a composable system.  Fail loudly
       // with every participant's bounds instead of exploring a system
-      // whose semantics nobody intended.
-      std::ostringstream os;
-      os << "compose: contradictory delay bounds for label '" << labels[li]
-         << "':";
+      // whose semantics nobody intended.  The message is built by the
+      // same formatter the lint analyzer uses (RTV-L004), so the two can
+      // never drift.
+      DelayContradiction c;
+      c.label = labels[li];
       for (std::size_t mi = 0; mi < n_mod; ++mi) {
         const EventId le = local_event[li][mi];
         if (!le.valid()) continue;
-        os << " " << modules[mi]->name() << " declares "
-           << modules[mi]->ts().event(le).delay.to_string();
+        c.participants.emplace_back(modules[mi]->name(),
+                                    modules[mi]->ts().event(le).delay);
       }
-      os << " (empty intersection)";
-      throw std::invalid_argument(os.str());
+      throw std::invalid_argument(describe_delay_contradiction(c));
     }
     if (any_output) {
       kind = EventKind::kOutput;

@@ -1,0 +1,42 @@
+#include "rtv/ts/delay_bounds.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rtv {
+
+std::vector<DelayContradiction> find_delay_contradictions(
+    const std::vector<const Module*>& modules) {
+  std::vector<std::string> labels;
+  for (const Module* m : modules)
+    for (const std::string& l : m->alphabet()) labels.push_back(l);
+  std::sort(labels.begin(), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+
+  std::vector<DelayContradiction> out;
+  for (const std::string& label : labels) {
+    DelayInterval delay = DelayInterval::unbounded();
+    DelayContradiction c;
+    c.label = label;
+    for (const Module* m : modules) {
+      const EventId e = m->ts().event_by_label(label);
+      if (!e.valid()) continue;
+      const DelayInterval d = m->ts().event(e).delay;
+      delay = delay.intersect(d);
+      c.participants.emplace_back(m->name(), d);
+    }
+    if (!delay.valid()) out.push_back(std::move(c));
+  }
+  return out;
+}
+
+std::string describe_delay_contradiction(const DelayContradiction& c) {
+  std::ostringstream os;
+  os << "compose: contradictory delay bounds for label '" << c.label << "':";
+  for (const auto& [name, delay] : c.participants)
+    os << " " << name << " declares " << delay.to_string();
+  os << " (empty intersection)";
+  return os.str();
+}
+
+}  // namespace rtv

@@ -13,6 +13,7 @@
 
 #include "rtv/base/json.hpp"
 #include "rtv/base/parallel.hpp"
+#include "rtv/lint/lint.hpp"
 #include "rtv/obs/metrics.hpp"
 #include "rtv/obs/trace.hpp"
 
@@ -97,6 +98,9 @@ struct Task {
   const Obligation* obligation = nullptr;
   ObligationControl* control = nullptr;
   const Engine* engine = nullptr;
+  /// Position of the obligation in the suite (indexes the pre-flight
+  /// lint reports).
+  std::size_t ob_index = 0;
 };
 
 const Engine* find_engine_or_throw(std::string_view name) {
@@ -129,14 +133,28 @@ SuiteReport run_suite(const Suite& suite, const SuiteOptions& options) {
   // matter which worker finishes first).
   std::deque<ObligationControl> controls;
   std::vector<Task> tasks;
+  std::size_t ob_index = 0;
   for (const Obligation& ob : suite.obligations()) {
     controls.emplace_back();
     ObligationControl& ctl = controls.back();
     if (options.mode == SuiteMode::kBatch && !ob.engine.empty()) {
-      tasks.push_back({&ob, &ctl, find_engine_or_throw(ob.engine)});
-      continue;
+      tasks.push_back({&ob, &ctl, find_engine_or_throw(ob.engine), ob_index});
+    } else {
+      for (const Engine* e : selected)
+        tasks.push_back({&ob, &ctl, e, ob_index});
     }
-    for (const Engine* e : selected) tasks.push_back({&ob, &ctl, e});
+    ++ob_index;
+  }
+
+  // Lint pre-flight: a cheap structural pass per obligation, before any
+  // engine thread spawns.  Error-severity findings short-circuit every
+  // record of the obligation to kInconclusive/kLintError inside run_task;
+  // warnings ride along on the records.
+  std::vector<lint::LintReport> preflights;
+  if (options.preflight) {
+    preflights.reserve(suite.size());
+    for (const Obligation& ob : suite.obligations())
+      preflights.push_back(lint::lint_obligation(ob, options));
   }
 
   SuiteReport report;
@@ -187,6 +205,25 @@ SuiteReport run_suite(const Suite& suite, const SuiteOptions& options) {
       rec.result.verdict = Verdict::kInconclusive;
       rec.result.truncated_reason = stop_reason::kCancelled;
       return;
+    }
+
+    // Pre-flight verdict: errors mean no engine run can be useful, so the
+    // record short-circuits without invoking the engine at all; warnings
+    // only annotate the record.
+    if (!preflights.empty()) {
+      const lint::LintReport& pre = preflights[task.ob_index];
+      rec.lint = pre.diagnostics;
+      if (pre.has_errors()) {
+        rec.result.verdict = Verdict::kInconclusive;
+        rec.result.truncated_reason = stop_reason::kLintError;
+        rec.result.message = pre.diagnostics.front().format();
+        if (metered)
+          obs::Registry::global()
+              .counter("rtv_suite_lint_rejected_total", "",
+                       "Suite tasks short-circuited by the lint pre-flight")
+              .inc();
+        return;
+      }
     }
 
     EngineRequest req;
@@ -383,6 +420,17 @@ std::string SuiteReport::to_json() const {
     out += r.winner ? "true" : "false";
     out += ",\n      \"cached\": ";
     out += r.cached ? "true" : "false";
+    // Optional (like "cached" on the way in): only present when the lint
+    // pre-flight had findings, so reports from lint-clean runs are
+    // byte-identical to pre-lint ones.
+    if (!r.lint.empty()) {
+      out += ",\n      \"lint\": [";
+      for (std::size_t j = 0; j < r.lint.size(); ++j) {
+        if (j) out += ", ";
+        lint::append_diagnostic(out, r.lint[j]);
+      }
+      out += "]";
+    }
     out += ",\n      \"message\": ";
     append_string(out, r.result.message);
     out += ",\n      \"trace\": [";
@@ -486,6 +534,15 @@ SuiteReport parse_suite_report(const json::Value& root) {
         throw std::runtime_error(
             "suite report JSON: cached flag is not a boolean");
       out.cached = cached->boolean;
+    }
+    // Absent when the pre-flight was disabled or clean (and in reports
+    // written before lint existed).
+    if (const json::Value* lint_v = rec.find("lint")) {
+      if (lint_v->kind != Kind::kArray)
+        throw std::runtime_error(
+            "suite report JSON: lint field is not an array");
+      for (const json::Value& d : lint_v->array)
+        out.lint.push_back(lint::diagnostic_from_json(d, kJsonContext));
     }
     out.result.message =
         require(rec, "message", Kind::kString, "message").string;

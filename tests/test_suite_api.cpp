@@ -90,11 +90,14 @@ TEST(SuiteApi, UnknownEngineThrows) {
   EXPECT_THROW(run_suite(per_ob), std::invalid_argument);
 }
 
-TEST(SuiteBatch, EngineThrowIsRecordedNotFatal) {
-  // compose() rejects contradictory delay bounds with std::invalid_argument;
-  // raised on a pool thread, an uncaught engine throw would escape the
-  // std::thread entry and terminate the whole batch.  The suite must record
-  // the error against the one bad obligation and still finish the others.
+TEST(SuiteBatch, ContradictoryDelaysShortCircuitOrThrow) {
+  // Contradictory delay bounds on a shared label take one of two paths:
+  // the default lint pre-flight rejects the obligation before any engine
+  // runs (kLintError), and with the pre-flight disabled the engine's
+  // compose() call throws std::invalid_argument on a pool thread, which
+  // the suite must record against the one bad obligation (kEngineError)
+  // without terminating the batch.  Either way the other obligation
+  // finishes.
   auto pulse = [](const std::string& name, Time lo, Time hi, EventKind kind) {
     TransitionSystem ts;
     const StateId s0 = ts.add_state();
@@ -112,21 +115,41 @@ TEST(SuiteBatch, EngineThrowIsRecordedNotFatal) {
   const SafetyProperty* dead = suite.own(std::make_unique<DeadlockFreedom>());
   suite.add("contradictory", {early, late}, {dead});
 
+  const auto bad_record = [](const SuiteReport& report) -> const SuiteRecord* {
+    for (const SuiteRecord& rec : report.records)
+      if (rec.obligation == "contradictory") return &rec;
+    return nullptr;
+  };
+
   for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
     SuiteOptions opts;
     opts.jobs = jobs;
     const SuiteReport report = run_suite(suite, opts);
     ASSERT_EQ(report.records.size(), 2u) << "jobs=" << jobs;
     EXPECT_EQ(report.verdict_of("good"), Verdict::kVerified);
-    const SuiteRecord* bad = nullptr;
-    for (const SuiteRecord& rec : report.records)
-      if (rec.obligation == "contradictory") bad = &rec;
+    const SuiteRecord* bad = bad_record(report);
     ASSERT_NE(bad, nullptr);
     EXPECT_EQ(bad->result.verdict, Verdict::kInconclusive);
-    EXPECT_EQ(bad->result.truncated_reason, stop_reason::kEngineError);
+    EXPECT_EQ(bad->result.truncated_reason, stop_reason::kLintError);
     EXPECT_NE(bad->result.message.find("x+"), std::string::npos)
         << bad->result.message;
+    ASSERT_FALSE(bad->lint.empty());
+    EXPECT_EQ(bad->lint.front().code, "RTV-L004");
+    EXPECT_EQ(bad->result.states_explored, 0u) << "an engine ran anyway";
   }
+
+  SuiteOptions raw;
+  raw.preflight = false;
+  const SuiteReport report = run_suite(suite, raw);
+  ASSERT_EQ(report.records.size(), 2u);
+  EXPECT_EQ(report.verdict_of("good"), Verdict::kVerified);
+  const SuiteRecord* bad = bad_record(report);
+  ASSERT_NE(bad, nullptr);
+  EXPECT_TRUE(bad->lint.empty());
+  EXPECT_EQ(bad->result.verdict, Verdict::kInconclusive);
+  EXPECT_EQ(bad->result.truncated_reason, stop_reason::kEngineError);
+  EXPECT_NE(bad->result.message.find("x+"), std::string::npos)
+      << bad->result.message;
 }
 
 TEST(SuiteApi, EmptySuiteIsVacuouslyVerified) {

@@ -17,6 +17,11 @@
 //   rtv portfolio a.g b.g ...  [--engines NAME,NAME] [--jobs N] [--json F]
 //                              (one obligation; engines race, first verdict wins)
 //   rtv engines                (list the registered verification engines)
+//   rtv lint      a.g b.g ...  [--engine NAME[,NAME...]] [--max-states N]
+//                              [--no-deadlock] [--no-persistency] [--json F|-]
+//                              (static model analysis, no engine runs; the
+//                              files form one composed obligation; exit 0 =
+//                              clean, 1 = warnings, 2 = errors)
 //   rtv fuzz                   [--seed S] [--cases N] [--seconds S] [--jobs N]
 //                              [--engines NAME,NAME] [--modules N] [--events N]
 //                              [--max-delay T] [--properties N] [--config F]
@@ -64,6 +69,7 @@
 
 #include "rtv/fuzz/campaign.hpp"
 #include "rtv/ipcmos/experiments.hpp"
+#include "rtv/lint/lint.hpp"
 #include "rtv/obs/metrics.hpp"
 #include "rtv/obs/trace.hpp"
 #include "rtv/serve/client.hpp"
@@ -102,6 +108,9 @@ int usage() {
       "                           [--timeout S] [--max-states N] [--no-deadlock]\n"
       "                           [--no-persistency] [--max-ref N] [--progress]\n"
       "  rtv engines\n"
+      "  rtv lint      <stg.g>... [--engine NAME[,NAME...]] [--max-states N]\n"
+      "                           [--no-deadlock] [--no-persistency] [--json FILE|-]\n"
+      "                           (exit: 0 clean, 1 warnings, 2 errors)\n"
       "  rtv fuzz                 [--seed S] [--cases N] [--seconds S] [--jobs N]\n"
       "                           [--engines NAME,NAME...] [--modules N] [--events N]\n"
       "                           [--max-delay TICKS] [--properties N] [--config FILE]\n"
@@ -418,6 +427,37 @@ int cmd_portfolio(const std::vector<std::string>& files,
   return finish_suite(report, cli);
 }
 
+int cmd_lint(const std::vector<std::string>& files,
+             const VerifyCliOptions& cli) {
+  if (!engines_exist(cli.engines)) return kExitUsage;
+
+  // The files form one composed obligation, mirroring `rtv verify` /
+  // `rtv portfolio`: shared labels synchronise, and the same default
+  // properties apply.  No engine runs — the exit code reports the lint
+  // verdict, not a verification verdict.
+  const LoadedModules mods = load_all(files);
+  DeadlockFreedom dead;
+  PersistencyProperty pers;
+  std::vector<const SafetyProperty*> props;
+  if (cli.deadlock) props.push_back(&dead);
+  if (cli.persistency) props.push_back(&pers);
+
+  lint::LintOptions opts;
+  opts.engines = cli.engines;  // empty = every engine-specific check armed
+  opts.max_states = cli.max_states;
+  const lint::LintReport report = lint::lint_modules(mods.ptrs, props, opts);
+
+  if (cli.json_path == "-") {
+    std::printf("%s\n", report.to_json().c_str());
+  } else {
+    std::printf("%s", report.format().c_str());
+    if (!cli.json_path.empty() &&
+        !write_text(report.to_json(), cli.json_path))
+      return kExitRuntime;
+  }
+  return report.exit_code();
+}
+
 int cmd_simulate(const std::vector<std::string>& files, std::size_t events,
                  std::uint64_t seed, const std::string& vcd,
                  const std::vector<std::string>& signals) {
@@ -583,6 +623,8 @@ int cmd_client(const std::vector<std::string>& files,
                 static_cast<unsigned long long>(s.deduped));
     std::printf("computed:        %llu\n",
                 static_cast<unsigned long long>(s.computed));
+    std::printf("lint rejected:   %llu\n",
+                static_cast<unsigned long long>(s.lint_rejected));
     std::printf("errors:          %llu\n",
                 static_cast<unsigned long long>(s.errors));
     std::printf("cache entries:   %llu\n",
@@ -824,6 +866,7 @@ int main(int argc, char** argv) {
     if (cmd == "portfolio" && !files.empty())
       return cmd_portfolio(files, vopts);
     if (cmd == "engines") return cmd_engines();
+    if (cmd == "lint" && !files.empty()) return cmd_lint(files, vopts);
     if (cmd == "fuzz" && files.empty()) {
       fuzz_opt.seed = seed;
       if (!vopts.engines.empty()) fuzz_opt.engines = vopts.engines;
