@@ -1,0 +1,191 @@
+// Slicer throughput and cone-of-influence payoff on a padded Table 1
+// workload.
+//
+// The slicer's contract mirrors the lint pre-flight's: cheap enough to
+// run before every engine invocation (purely structural, no
+// composition), while buying real engine work whenever an obligation
+// carries out-of-cone modules.  This bench measures both on the paper's
+// own stage: the experiment-5 flat pipeline with its persistency and
+// short-circuit properties (deadlock-freedom omitted — it pins every
+// live module into the cone, making the slice the identity), padded
+// with disconnected always-live togglers the way a generated or
+// machine-assembled suite would be.
+//
+//   (a) slice throughput: padded obligations sliced per second, best of
+//       `reps` passes;
+//   (b) pre-flight share: slice-pass-seconds / suite-wall-seconds on a
+//       real run_suite() — acceptance bar <1% (--max-overhead-pct);
+//   (c) payoff: states explored unsliced / sliced on the same padded
+//       obligation — acceptance bar >=5x (--min-reduction).
+//
+// Writes a machine-readable summary to BENCH_slice.json (--json to
+// rename).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "rtv/analysis/slice.hpp"
+#include "rtv/circuit/invariants.hpp"
+#include "rtv/ipcmos/pipeline.hpp"
+#include "rtv/ts/gallery.hpp"
+#include "rtv/verify/suite.hpp"
+
+using namespace rtv;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Disconnected always-live toggler with private labels — the padding
+/// shape the fuzz generator uses (GeneratorConfig::padding_modules).
+Module toggler(int k) {
+  const std::string base = "pad" + std::to_string(k);
+  Module m = gallery::ring(
+      {{base + "_a", DelayInterval(kTicksPerUnit, 2 * kTicksPerUnit)},
+       {base + "_b", DelayInterval(kTicksPerUnit, 2 * kTicksPerUnit)}});
+  for (std::size_t ei = 0; ei < m.ts().num_events(); ++ei)
+    m.ts().set_event_kind(EventId(static_cast<std::uint32_t>(ei)),
+                          EventKind::kInternal);
+  m.set_name(base + "_toggler");
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_slice.json";
+  double max_overhead_pct = 1.0;
+  double min_reduction = 5.0;
+  int reps = 200;
+  int padding = 4;
+  std::size_t jobs = 0;  // suite default: all hardware threads
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(64);
+      }
+      return argv[++i];
+    };
+    if (arg == "--json") json_path = next();
+    else if (arg == "--max-overhead-pct") max_overhead_pct = std::atof(next());
+    else if (arg == "--min-reduction") min_reduction = std::atof(next());
+    else if (arg == "--reps") reps = std::atoi(next());
+    else if (arg == "--padding") padding = std::atoi(next());
+    else if (arg == "--jobs") jobs = static_cast<std::size_t>(std::atoll(next()));
+    else {
+      std::fprintf(stderr,
+                   "usage: slice_throughput [--json FILE] [--reps N]\n"
+                   "       [--padding N] [--jobs N] [--max-overhead-pct P]\n"
+                   "       [--min-reduction R]\n");
+      return 64;
+    }
+  }
+
+  // The experiment-5 stage with its persistency + short-circuit
+  // properties, padded with out-of-cone togglers.
+  const ipcmos::PipelineTiming timing;
+  ipcmos::ModuleSet mods = ipcmos::flat_pipeline(1, timing);
+  for (int k = 0; k < padding; ++k) mods.add(toggler(k));
+
+  std::vector<std::unique_ptr<SafetyProperty>> owned_props;
+  owned_props.push_back(std::make_unique<PersistencyProperty>());
+  const Netlist nl =
+      ipcmos::make_stage_netlist("I1", ipcmos::linear_channels(1),
+                                 timing.stage);
+  for (auto& p : short_circuit_properties(nl)) owned_props.push_back(std::move(p));
+  std::vector<const SafetyProperty*> props;
+  for (const auto& p : owned_props) props.push_back(p.get());
+
+  std::printf("slice_throughput — experiment-5 stage + %d padding toggler(s)"
+              ", %zu propertie(s)\n",
+              padding, props.size());
+
+  // (a) Standalone throughput: full slice passes, best of `reps`.
+  double best_pass = 0.0;
+  std::size_t dropped = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const analysis::SliceResult sl = analysis::slice(mods.ptrs, props);
+    const double wall = seconds_since(t0);
+    dropped = sl.dropped_modules;
+    if (rep == 0 || wall < best_pass) best_pass = wall;
+  }
+  const double models_per_sec = best_pass > 0 ? 1.0 / best_pass : 0.0;
+  std::printf("slice alone: %.0f models/sec (best pass %.0f us, %zu "
+              "module(s) dropped)\n",
+              models_per_sec, best_pass * 1e6, dropped);
+  if (dropped != static_cast<std::size_t>(padding))
+    std::printf("WARNING: expected every toggler dropped, got %zu\n", dropped);
+
+  // (b)+(c) One suite run each way on the same padded obligation.  The
+  // pre-flight share charges the measured per-pass slice cost against the
+  // sliced run's wall clock (a direct on-vs-off diff would drown in
+  // engine noise); the payoff compares engine states explored.
+  const auto run = [&](bool slice_on, double& wall) {
+    Suite suite;
+    suite.add("exp5-padded", mods.ptrs, props);
+    SuiteOptions sopts;
+    sopts.jobs = jobs;
+    sopts.slice = slice_on;
+    const auto t0 = std::chrono::steady_clock::now();
+    const SuiteReport report = run_suite(suite, sopts);
+    wall = seconds_since(t0);
+    std::size_t states = 0;
+    for (const SuiteRecord& rec : report.records)
+      states += rec.result.states_explored;
+    return states;
+  };
+  double sliced_wall = 0.0, full_wall = 0.0;
+  const std::size_t sliced_states = run(true, sliced_wall);
+  const std::size_t full_states = run(false, full_wall);
+  const double overhead_pct =
+      sliced_wall > 0 ? best_pass / sliced_wall * 100.0 : 0.0;
+  const double reduction =
+      sliced_states > 0
+          ? static_cast<double>(full_states) / static_cast<double>(sliced_states)
+          : 0.0;
+
+  std::printf("suite wall: %.3fs sliced vs %.3fs unsliced\n", sliced_wall,
+              full_wall);
+  std::printf("states explored: %zu sliced vs %zu unsliced — %.1fx reduction "
+              "(threshold %.1fx)\n",
+              sliced_states, full_states, reduction, min_reduction);
+  std::printf("pre-flight share: %.4f%% (threshold %.2f%%)\n", overhead_pct,
+              max_overhead_pct);
+
+  std::string json = "{\"bench\":\"slice_throughput\",\"workload\":"
+                     "\"exp5-padded\",\"padding\":";
+  json += std::to_string(padding);
+  json += ",\"jobs\":" + std::to_string(jobs);
+  json += ",\"reps\":" + std::to_string(reps);
+  json += ",\"dropped_modules\":" + std::to_string(dropped);
+  json += ",\"sliced_states\":" + std::to_string(sliced_states);
+  json += ",\"unsliced_states\":" + std::to_string(full_states);
+  char buf[200];
+  std::snprintf(buf, sizeof buf,
+                ",\"slice_pass_seconds\":%.9f,\"models_per_sec\":%.1f,"
+                "\"suite_seconds\":%.6f,\"overhead_pct\":%.6f,"
+                "\"state_reduction\":%.3f}",
+                best_pass, models_per_sec, sliced_wall, overhead_pct,
+                reduction);
+  json += buf;
+  json += '\n';
+  std::ofstream out(json_path);
+  out << json;
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+    return 70;
+  }
+  std::printf("JSON written to %s\n", json_path.c_str());
+
+  return overhead_pct <= max_overhead_pct && reduction >= min_reduction ? 0 : 1;
+}

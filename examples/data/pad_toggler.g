@@ -1,0 +1,16 @@
+# Disconnected padding toggler: shares no label with the other samples,
+# so it composes with any of them without synchronising — and every
+# property cone of influence excludes it.  Used to demonstrate slicing:
+#   rtv slice examples/data/hs_env.g examples/data/hs_dev.g \
+#             examples/data/pad_toggler.g --no-deadlock
+# and the daemon's canonical cache key (padded and unpadded composed
+# requests share one cache entry — see docs/SERVICE.md).
+.model pad_toggler
+.outputs pz
+.graph
+pz+ pz-
+pz- pz+
+.marking { <pz-,pz+> }
+.delay pz+ 1 2
+.delay pz- 1 2
+.end

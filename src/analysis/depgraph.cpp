@@ -1,0 +1,97 @@
+#include "rtv/analysis/depgraph.hpp"
+
+#include <algorithm>
+
+namespace rtv::analysis {
+
+namespace {
+
+ModuleFacts module_facts(const Module& m) {
+  ModuleFacts f;
+  const TransitionSystem& ts = m.ts();
+  f.fireable.assign(ts.num_events(), false);
+  const StateId init = ts.initial();
+  if (!init.valid() || init.value() >= ts.num_states()) return f;
+  f.reachable = ts.reachable_states();
+  for (const StateId s : f.reachable)
+    for (const Transition& t : ts.transitions_from(s)) {
+      f.fireable[t.event.value()] = true;
+      f.has_reachable_transition = true;
+      const DelayInterval d = ts.delay(t.event);
+      if (d.upper_bounded() && d.hi() == 0) f.can_pin_time = true;
+    }
+  // Local conflict shapes: a reachable state where firing one enabled
+  // event (any of its transitions) lands in a state that no longer
+  // enables another, distinct, co-enabled event.
+  for (const StateId s : f.reachable) {
+    if (f.has_local_conflict) break;
+    const std::vector<EventId> enabled = ts.enabled_events(s);
+    if (enabled.size() < 2) continue;
+    for (const Transition& t : ts.transitions_from(s)) {
+      for (const EventId other : enabled) {
+        if (other == t.event) continue;
+        if (!ts.is_enabled(t.target, other)) {
+          f.has_local_conflict = true;
+          break;
+        }
+      }
+      if (f.has_local_conflict) break;
+    }
+  }
+  return f;
+}
+
+}  // namespace
+
+std::vector<std::size_t> DepGraph::signal_owners(
+    const std::vector<const Module*>& modules, const std::string& name) const {
+  std::vector<std::size_t> owners;
+  for (std::size_t mi = 0; mi < modules.size(); ++mi)
+    if (modules[mi]->ts().signal_index(name) !=
+        static_cast<std::size_t>(-1))
+      owners.push_back(mi);
+  return owners;
+}
+
+DepGraph build_depgraph(const std::vector<const Module*>& modules) {
+  DepGraph g;
+  g.facts.reserve(modules.size());
+  for (const Module* m : modules) g.facts.push_back(module_facts(*m));
+
+  for (std::size_t mi = 0; mi < modules.size(); ++mi)
+    for (const std::string& label : modules[mi]->alphabet())
+      g.label_owners[label].push_back(mi);
+
+  g.adjacent.assign(modules.size(), {});
+  for (const auto& [label, owners] : g.label_owners) {
+    if (owners.size() < 2) continue;
+    for (const std::size_t a : owners)
+      for (const std::size_t b : owners)
+        if (a != b) g.adjacent[a].push_back(b);
+  }
+  for (auto& adj : g.adjacent) {
+    std::sort(adj.begin(), adj.end());
+    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+  }
+
+  // Connected components of the shared-label relation (iterative DFS).
+  g.component.assign(modules.size(), static_cast<std::size_t>(-1));
+  for (std::size_t mi = 0; mi < modules.size(); ++mi) {
+    if (g.component[mi] != static_cast<std::size_t>(-1)) continue;
+    const std::size_t id = g.num_components++;
+    std::vector<std::size_t> stack{mi};
+    g.component[mi] = id;
+    while (!stack.empty()) {
+      const std::size_t cur = stack.back();
+      stack.pop_back();
+      for (const std::size_t next : g.adjacent[cur])
+        if (g.component[next] == static_cast<std::size_t>(-1)) {
+          g.component[next] = id;
+          stack.push_back(next);
+        }
+    }
+  }
+  return g;
+}
+
+}  // namespace rtv::analysis

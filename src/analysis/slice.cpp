@@ -1,0 +1,275 @@
+#include "rtv/analysis/slice.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "rtv/verify/obligation_hash.hpp"
+
+namespace rtv::analysis {
+
+namespace {
+
+/// Static classification of the property bundle.  A property subclass
+/// this layer does not know cannot get a cone rule, so the caller bails.
+struct PropertyFacts {
+  bool deadlock = false;
+  bool persistency = false;
+  std::vector<const InvariantProperty*> invariants;
+  const SafetyProperty* unknown = nullptr;
+};
+
+PropertyFacts classify(const std::vector<const SafetyProperty*>& properties) {
+  PropertyFacts f;
+  for (const SafetyProperty* p : properties) {
+    if (dynamic_cast<const DeadlockFreedom*>(p)) {
+      f.deadlock = true;
+    } else if (dynamic_cast<const PersistencyProperty*>(p)) {
+      f.persistency = true;
+    } else if (const auto* inv = dynamic_cast<const InvariantProperty*>(p)) {
+      f.invariants.push_back(inv);
+    } else if (!f.unknown) {
+      f.unknown = p;
+    }
+  }
+  return f;
+}
+
+SliceResult identity_slice(const std::vector<const Module*>& modules,
+                           std::string bailout_reason) {
+  SliceResult r;
+  r.modules = modules;
+  r.kept.resize(modules.size());
+  for (std::size_t i = 0; i < modules.size(); ++i) r.kept[i] = i;
+  r.identity = true;
+  if (!bailout_reason.empty()) {
+    r.bailout = bailout_reason;
+    r.notes.push_back({"bailout", "", "", std::move(bailout_reason)});
+  }
+  return r;
+}
+
+/// Rebuild a module keeping only its reachable states and, where sound,
+/// dropping dead events.  `drop_event[ei]` marks events that label no
+/// reachable transition *and* whose label no other kept module declares
+/// (removing a shared label would change the synchronization structure,
+/// so those stay even when dead).
+Module rebuild(const Module& m, const ModuleFacts& facts,
+               const std::vector<bool>& drop_event) {
+  const TransitionSystem& ts = m.ts();
+  TransitionSystem out;
+
+  std::vector<EventId> event_map(ts.num_events(), EventId::invalid());
+  for (std::size_t ei = 0; ei < ts.num_events(); ++ei) {
+    if (drop_event[ei]) continue;
+    const EventId old(static_cast<std::uint32_t>(ei));
+    event_map[ei] = out.add_event(ts.label(old), ts.delay(old),
+                                  ts.event(old).kind);
+  }
+
+  std::vector<StateId> state_map(ts.num_states(), StateId::invalid());
+  for (const StateId s : facts.reachable)
+    state_map[s.value()] = out.add_state(ts.state_name(s));
+  out.set_initial(state_map[ts.initial().value()]);
+
+  if (!ts.signal_names().empty()) out.set_signal_names(ts.signal_names());
+  for (const StateId s : facts.reachable) {
+    if (ts.has_valuations())
+      out.set_state_valuation(state_map[s.value()], ts.valuation(s));
+    for (const Transition& t : ts.transitions_from(s))
+      out.add_transition(state_map[s.value()], event_map[t.event.value()],
+                         state_map[t.target.value()]);
+  }
+  return Module(m.name(), std::move(out));
+}
+
+}  // namespace
+
+std::vector<const Module*> canonical_order(
+    const std::vector<const Module*>& modules) {
+  std::vector<const Module*> out = modules;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Module* a, const Module* b) {
+                     return module_content_hash(*a) < module_content_hash(*b);
+                   });
+  return out;
+}
+
+SliceResult slice(const std::vector<const Module*>& modules,
+                  const std::vector<const SafetyProperty*>& properties,
+                  const SliceOptions& options, const DepGraph* graph) {
+  if (modules.empty())
+    return identity_slice(modules, "obligation carries no modules");
+
+  DepGraph local;
+  if (!graph) {
+    local = build_depgraph(modules);
+    graph = &local;
+  }
+
+  for (const Module* m : modules) {
+    const StateId init = m->ts().initial();
+    if (!init.valid() || init.value() >= m->ts().num_states())
+      return identity_slice(modules, "module '" + m->name() +
+                                         "' has no valid initial state — "
+                                         "not provably sliceable");
+  }
+
+  const PropertyFacts props = classify(properties);
+  if (props.unknown)
+    return identity_slice(modules, "property '" + props.unknown->name() +
+                                       "' has no static cone rule — "
+                                       "keeping the full obligation");
+
+  // Which connected components of the shared-label relation does some
+  // property (or the choke semantics) pull into the cone?
+  std::vector<bool> needed(graph->num_components, false);
+  std::vector<std::size_t> component_size(graph->num_components, 0);
+  for (std::size_t mi = 0; mi < modules.size(); ++mi)
+    ++component_size[graph->component[mi]];
+
+  // Choke tracking: a refused output inside a multi-module component is a
+  // reportable failure on its own, independent of the property bundle, so
+  // such components are never provably irrelevant.
+  if (options.track_chokes)
+    for (std::size_t c = 0; c < graph->num_components; ++c)
+      if (component_size[c] > 1) needed[c] = true;
+
+  // Time is a shared resource even across disconnected components: a
+  // module with a fireable zero-deadline event can be forced to fire
+  // without letting the clock advance, and a reachable cycle of such
+  // events pins global time (a Zeno run) — masking timed behaviour in
+  // every other component.  Only modules that provably let time diverge
+  // are droppable, so a potential pinner pulls its component in
+  // regardless of the property bundle.
+  for (std::size_t mi = 0; mi < modules.size(); ++mi)
+    if (graph->facts[mi].can_pin_time) needed[graph->component[mi]] = true;
+
+  // Deadlock-freedom observes every module that can ever fire: a
+  // disconnected always-live module masks every composed deadlock, and a
+  // disconnected stuck module is itself at stake, so only components with
+  // no reachable transition at all are irrelevant to it.
+  if (props.deadlock)
+    for (std::size_t mi = 0; mi < modules.size(); ++mi)
+      if (graph->facts[mi].has_reachable_transition)
+        needed[graph->component[mi]] = true;
+
+  // Persistency: every composed disabling projects onto a module-local
+  // conflict in a participant of the fired event, so only components
+  // containing such a conflict can source a violation.
+  if (props.persistency)
+    for (std::size_t mi = 0; mi < modules.size(); ++mi)
+      if (graph->facts[mi].has_local_conflict)
+        needed[graph->component[mi]] = true;
+
+  // Invariants: seed with every module declaring a referenced signal.
+  for (const InvariantProperty* inv : props.invariants)
+    for (const InvariantProperty::Literal& lit : inv->forbidden()) {
+      const std::vector<std::size_t> owners =
+          graph->signal_owners(modules, lit.signal);
+      if (owners.empty())
+        return identity_slice(
+            modules, "invariant '" + inv->name() + "' references signal '" +
+                         lit.signal +
+                         "' that no module declares — keeping the full "
+                         "obligation");
+      for (const std::size_t mi : owners) needed[graph->component[mi]] = true;
+    }
+
+  SliceResult r;
+  for (std::size_t mi = 0; mi < modules.size(); ++mi) {
+    if (needed[graph->component[mi]]) {
+      r.kept.push_back(mi);
+      continue;
+    }
+    ++r.dropped_modules;
+    r.dropped_events += modules[mi]->ts().num_events();
+    std::string reason =
+        "disconnected from every kept module; outside every property's "
+        "cone (";
+    std::vector<std::string> parts;
+    if (props.deadlock)
+      parts.push_back("no reachable transition, so it can neither mask nor "
+                      "cause a composed deadlock");
+    if (props.persistency)
+      parts.push_back("conflict-free, so it cannot source a persistency "
+                      "violation");
+    if (!props.invariants.empty())
+      parts.push_back("declares no signal any invariant references");
+    if (parts.empty()) parts.push_back("no property observes it");
+    for (std::size_t i = 0; i < parts.size(); ++i)
+      reason += (i ? "; " : "") + parts[i];
+    reason += ")";
+    r.notes.push_back({"module", modules[mi]->name(), "", std::move(reason)});
+  }
+
+  if (r.kept.empty()) {
+    // Deadlock-freedom never empties the cone unless every module is
+    // permanently stuck — and then the initial state *is* the deadlock,
+    // so the engines must see it.
+    if (props.deadlock)
+      return identity_slice(modules,
+                            "deadlock-freedom requested and every module is "
+                            "permanently stuck — the engines must witness "
+                            "the initial deadlock");
+    // Empty cone: no kept module means no property can be violated and
+    // (all dropped components being single modules when chokes are
+    // tracked) no output can be refused.  run_suite() answers VERIFIED
+    // without composing anything.
+    r.identity = false;
+    r.notes.push_back({"module", "", "",
+                       "cone is empty — every property is statically "
+                       "unviolable on this obligation"});
+    return r;
+  }
+
+  // Prune inside the kept modules: drop statically-unreachable states
+  // and events that label no reachable transition, provided their label
+  // is private to the module (a dead shared label still synchronizes —
+  // removing it would free the peers that declare it).
+  for (const std::size_t mi : r.kept) {
+    const Module& m = *modules[mi];
+    const TransitionSystem& ts = m.ts();
+    const ModuleFacts& facts = graph->facts[mi];
+
+    std::vector<bool> drop_event(ts.num_events(), false);
+    std::size_t dead_events = 0;
+    for (std::size_t ei = 0; ei < ts.num_events(); ++ei) {
+      if (facts.fireable[ei]) continue;
+      const std::string& label =
+          ts.label(EventId(static_cast<std::uint32_t>(ei)));
+      const auto owners = graph->label_owners.find(label);
+      bool shared_with_kept = false;
+      if (owners != graph->label_owners.end())
+        for (const std::size_t owner : owners->second)
+          if (owner != mi && needed[graph->component[owner]])
+            shared_with_kept = true;
+      if (shared_with_kept) continue;
+      drop_event[ei] = true;
+      ++dead_events;
+      r.notes.push_back({"events", m.name(), label,
+                         "event '" + label +
+                             "' labels no transition from any reachable "
+                             "state and its label is private — removed"});
+    }
+
+    const std::size_t unreachable = ts.num_states() - facts.reachable.size();
+    if (dead_events == 0 && unreachable == 0) {
+      r.modules.push_back(&m);
+      continue;
+    }
+    if (unreachable > 0)
+      r.notes.push_back({"states", m.name(), std::to_string(unreachable),
+                         std::to_string(unreachable) +
+                             " state(s) statically unreachable — pruned"});
+    r.dropped_events += dead_events;
+    r.pruned_states += unreachable;
+    r.reduced.push_back(rebuild(m, facts, drop_event));
+    r.modules.push_back(&r.reduced.back());
+  }
+
+  r.identity =
+      r.dropped_modules == 0 && r.dropped_events == 0 && r.pruned_states == 0;
+  return r;
+}
+
+}  // namespace rtv::analysis

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "rtv/analysis/slice.hpp"
 #include "rtv/base/hash.hpp"
 #include "rtv/base/json.hpp"
 #include "rtv/lint/lint.hpp"
@@ -88,6 +89,7 @@ const char* to_string(FailureKind kind) {
     case FailureKind::kBadTrace: return "bad-trace";
     case FailureKind::kEngineError: return "engine-error";
     case FailureKind::kLintMismatch: return "lint-mismatch";
+    case FailureKind::kSliceMismatch: return "slice-mismatch";
   }
   return "?";
 }
@@ -203,6 +205,37 @@ CaseResult run_case(std::uint64_t seed, const GeneratorConfig& config,
                rec.engine + " counterexample is not replayable: " + why +
                    " (trace: " + join_trace(rec.result.trace_labels) + ")");
           return out;
+        }
+      }
+    }
+  }
+
+  // Slicing oracle: run_suite slices by default, so whenever the slice is
+  // not the identity the whole case above verified a *reduced* obligation.
+  // Rerun unsliced and require every engine to stand by its own verdict —
+  // contradictory definitive verdicts mean the slicer dropped something
+  // that mattered.  kInconclusive never counts (the unsliced run explores
+  // more states, so it may hit the budget where the sliced run did not).
+  {
+    const analysis::SliceResult sl =
+        analysis::slice(sc.module_ptrs(), sc.property_ptrs());
+    if (!sl.identity) {
+      SuiteOptions unsliced = sopt;
+      unsliced.slice = false;
+      const SuiteReport full = run_suite(suite, unsliced);
+      for (const SuiteRecord& a : report.records) {
+        for (const SuiteRecord& b : full.records) {
+          if (a.engine != b.engine) continue;
+          const bool contradictory =
+              (a.result.verified() && b.result.violated()) ||
+              (a.result.violated() && b.result.verified());
+          if (contradictory) {
+            fail(FailureKind::kSliceMismatch,
+                 a.engine + " flips " + to_string(a.result.verdict) +
+                     " (sliced) to " + to_string(b.result.verdict) +
+                     " (unsliced) — the slicer is unsound on this case");
+            return out;
+          }
         }
       }
     }

@@ -21,6 +21,7 @@ constexpr const char* kConfigSchema = "rtv-fuzz-config";
 constexpr std::uint32_t kMaxModules = 64;
 constexpr std::uint32_t kMaxEvents = 256;
 constexpr std::uint32_t kMaxProperties = 32;
+constexpr std::uint32_t kMaxPadding = 16;
 constexpr Time kMaxDelayCap = Time{1} << 40;
 
 double clamp01(double p) { return std::min(1.0, std::max(0.0, p)); }
@@ -234,12 +235,13 @@ GeneratorConfig sanitized(const GeneratorConfig& config) {
   c.properties = std::min(c.properties, kMaxProperties);
   c.unbounded_p = clamp01(c.unbounded_p);
   c.share_p = clamp01(c.share_p);
+  c.padding_modules = std::min(c.padding_modules, kMaxPadding);
   return c;
 }
 
 std::size_t config_size(const GeneratorConfig& config) {
   const GeneratorConfig c = sanitized(config);
-  std::size_t size = c.modules + c.events + c.properties;
+  std::size_t size = c.modules + c.events + c.properties + c.padding_modules;
   size += static_cast<std::size_t>(
       std::bit_width(static_cast<std::uint64_t>(c.max_delay)));
   // One point each for structure the minimizer can switch off.
@@ -286,6 +288,7 @@ std::string GeneratorConfig::to_json() const {
   out += deadlock_check ? "true" : "false";
   out += ",\"persistency_check\":";
   out += persistency_check ? "true" : "false";
+  out += ",\"padding_modules\":" + std::to_string(padding_modules);
   out += "}";
   return out;
 }
@@ -322,6 +325,15 @@ GeneratorConfig GeneratorConfig::from_json(const std::string& text) {
   c.deadlock_check = require_bool(root, "deadlock_check", "deadlock flag");
   c.persistency_check =
       require_bool(root, "persistency_check", "persistency flag");
+  // Absent in configs written before the slicer existed; 0 keeps them
+  // replaying byte-identically.
+  if (const json::Value* pad = root.find("padding_modules")) {
+    if (pad->kind != json::Value::Kind::kNumber || pad->number < 0)
+      throw std::runtime_error(
+          std::string(kConfigContext) +
+          ": \"padding_modules\" must be a non-negative number");
+    c.padding_modules = static_cast<std::uint32_t>(pad->number);
+  }
   return c;
 }
 
@@ -331,7 +343,8 @@ bool operator==(const GeneratorConfig& a, const GeneratorConfig& b) {
          a.unbounded_p == b.unbounded_p && a.share_p == b.share_p &&
          a.point_delays == b.point_delays && a.gates == b.gates &&
          a.deadlock_check == b.deadlock_check &&
-         a.persistency_check == b.persistency_check;
+         a.persistency_check == b.persistency_check &&
+         a.padding_modules == b.padding_modules;
 }
 
 std::vector<const Module*> Scenario::module_ptrs() const {
@@ -410,6 +423,23 @@ Scenario generate(std::uint64_t seed, const GeneratorConfig& raw_config) {
     sc.properties.push_back(std::make_unique<DeadlockFreedom>());
   if (config.persistency_check)
     sc.properties.push_back(std::make_unique<PersistencyProperty>());
+
+  // Padding togglers: disconnected, always-live, conflict-free and
+  // signal-free, with fresh labels that never enter the sharing pool —
+  // provably outside every property's cone, so the slicer must drop them
+  // without changing any verdict.  Generated last: they draw nothing from
+  // the rng, so the padded and unpadded scenarios agree on everything else.
+  for (std::uint32_t k = 0; k < config.padding_modules; ++k) {
+    const std::string base = "pad" + std::to_string(k);
+    Module m = gallery::ring(
+        {{base + "_a", DelayInterval(kTicksPerUnit, 2 * kTicksPerUnit)},
+         {base + "_b", DelayInterval(kTicksPerUnit, 2 * kTicksPerUnit)}});
+    for (std::size_t ei = 0; ei < m.ts().num_events(); ++ei)
+      m.ts().set_event_kind(EventId(static_cast<std::uint32_t>(ei)),
+                            EventKind::kInternal);
+    m.set_name(base + "_toggler");
+    sc.modules.push_back(std::move(m));
+  }
   return sc;
 }
 

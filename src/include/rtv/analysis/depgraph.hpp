@@ -1,0 +1,67 @@
+// Static dependency analysis over an obligation's modules.
+//
+// One untimed pass per module (reachable states, fireable events, local
+// conflict shapes) plus the synchronization structure between modules
+// (which modules share which labels, and the connected components of that
+// relation).  Both rtv/lint and the rtv/analysis slicer read these facts,
+// so the per-module BFS runs exactly once per obligation no matter how
+// many consumers look at it.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rtv/ts/module.hpp"
+
+namespace rtv::analysis {
+
+/// Untimed facts about one module, derivable without composing.
+struct ModuleFacts {
+  /// Reachable states in BFS order (empty when the module has no valid
+  /// initial state — lint's well-formedness error covers that case).
+  std::vector<StateId> reachable;
+  /// Per event id: true iff some reachable state has a transition
+  /// labelled by the event (i.e. the event can ever fire locally).
+  std::vector<bool> fireable;
+  /// True iff any reachable state has an outgoing transition.
+  bool has_reachable_transition = false;
+  /// True iff some fireable event carries a zero upper delay bound.  Such
+  /// an event can be forced to fire without letting time advance — a
+  /// reachable zero-deadline cycle pins the *global* clock (a Zeno run),
+  /// so even a fully disconnected module with this shape can mask timed
+  /// behaviour everywhere else in the composition.
+  bool can_pin_time = false;
+  /// True iff some reachable state enables events e != f such that firing
+  /// e can lead to a state where f is no longer enabled.  Every composed
+  /// persistency violation projects onto such a module-local conflict in
+  /// one of the fired event's participants, so a module without one can
+  /// never be the source of a persistency failure.
+  bool has_local_conflict = false;
+};
+
+/// The event/signal/module dependency graph of one obligation.
+struct DepGraph {
+  /// One entry per module, same order as the input vector.
+  std::vector<ModuleFacts> facts;
+  /// Label -> indices of the modules declaring it (ascending).
+  std::map<std::string, std::vector<std::size_t>, std::less<>> label_owners;
+  /// Per module: the other modules sharing at least one label with it
+  /// (ascending, unique).  Empty means the module composes by pure
+  /// interleaving (lint's RTV-L014 condition).
+  std::vector<std::vector<std::size_t>> adjacent;
+  /// Connected-component id per module over the shared-label relation;
+  /// ids are dense in [0, num_components).
+  std::vector<std::size_t> component;
+  std::size_t num_components = 0;
+
+  /// Indices of the modules declaring a signal of this name (ascending).
+  std::vector<std::size_t> signal_owners(
+      const std::vector<const Module*>& modules, const std::string& name) const;
+};
+
+/// Build the graph: one BFS per module plus a label-ownership sweep.
+DepGraph build_depgraph(const std::vector<const Module*>& modules);
+
+}  // namespace rtv::analysis

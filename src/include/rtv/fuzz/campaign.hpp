@@ -15,7 +15,12 @@
 //   * the static analyzer (rtv/lint) and the suite scheduler disagree
 //     about the scenario: a lint-clean scenario dies with a lint
 //     pre-flight rejection, or a scenario lint calls broken still gets
-//     definitive verdicts from the engines.
+//     definitive verdicts from the engines; or
+//   * the cone-of-influence slicer (rtv/analysis/slice.hpp) changes a
+//     verdict: whenever the slice is not the identity the case reruns
+//     with slicing disabled, and any engine contradicting its own sliced
+//     verdict is a kSliceMismatch (GeneratorConfig::padding_modules
+//     appends provably-out-of-cone modules to keep this oracle busy).
 //
 // Failures carry a self-contained reproducer — the case seed plus the
 // generator config, delta-debugged down to a minimal failing config when
@@ -79,6 +84,7 @@ enum class FailureKind {
   kBadTrace,      ///< a violation trace that does not replay
   kEngineError,   ///< an engine threw
   kLintMismatch,  ///< lint and the suite scheduler disagree on the scenario
+  kSliceMismatch, ///< sliced and unsliced runs return contradictory verdicts
 };
 
 const char* to_string(FailureKind kind);

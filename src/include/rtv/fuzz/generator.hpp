@@ -59,6 +59,12 @@ struct GeneratorConfig {
   /// Also check DeadlockFreedom / PersistencyProperty on every scenario.
   bool deadlock_check = false;
   bool persistency_check = false;
+  /// Disconnected always-live toggler modules appended after the monitors
+  /// (fresh labels, never shared, no signals) — out of every property's
+  /// cone by construction, so they exercise the suite's slicer: the
+  /// campaign cross-checks sliced against unsliced verdicts
+  /// (FailureKind::kSliceMismatch).
+  std::uint32_t padding_modules = 0;
 
   /// Stable JSON round-trip (campaign reports embed configs; `rtv fuzz`
   /// replays them).  See docs/FUZZING.md for the schema.

@@ -67,6 +67,9 @@ inline constexpr const char* kDigitizationCost = "RTV-L013";       ///< warning
 // obligation shape
 inline constexpr const char* kDisjointAlphabet = "RTV-L014";  ///< warning
 inline constexpr const char* kTrivialDeadlock = "RTV-L015";   ///< warning
+// cone of influence (what `rtv slice` would drop; rtv/analysis/slice.hpp)
+inline constexpr const char* kOutsideCone = "RTV-L016";       ///< note
+inline constexpr const char* kSliceUnreachable = "RTV-L017";  ///< note
 }  // namespace check
 
 /// Constants past this many ticks fall outside the historical 16-bit

@@ -131,6 +131,13 @@ struct SuiteOptions {
   /// answered kInconclusive with stop_reason::kLintError without invoking
   /// any engine; warnings attach to the obligation's SuiteRecords.
   bool preflight = true;
+  /// Run the cone-of-influence slicer (rtv/analysis/slice.hpp) over every
+  /// obligation after the pre-flight: engines then verify the reduced
+  /// obligation (out-of-cone modules dropped, unreachable states pruned)
+  /// — verdict-preserving by construction, identity whenever a construct
+  /// is not provably irrelevant.  An obligation whose cone is *empty* is
+  /// answered kVerified without invoking any engine.
+  bool slice = true;
 };
 
 // ---------------------------------------------------------------------------
@@ -159,6 +166,12 @@ struct SuiteRecord {
   /// record is a short-circuit: verdict kInconclusive, truncated_reason
   /// stop_reason::kLintError, no engine ran.
   std::vector<lint::Diagnostic> lint;
+  /// Modules dropped by the cone-of-influence slicer before the engine
+  /// ran (0 when slicing is off or the slice was the identity).
+  std::size_t sliced_modules = 0;
+  /// Events removed by the slicer: whole alphabets of dropped modules
+  /// plus dead events pruned inside kept modules.
+  std::size_t sliced_events = 0;
 };
 
 /// Per-obligation roll-up of a report's records.

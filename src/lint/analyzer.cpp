@@ -39,7 +39,6 @@ LintReport lint_modules(const std::vector<const Module*>& modules,
                    selection_digitizes(options.engines),
                    selection_only_digitizes(options.engines),
                    {},
-                   {},
                    report.diagnostics};
 
   if (modules.empty()) {
@@ -48,22 +47,15 @@ LintReport lint_modules(const std::vector<const Module*>& modules,
     return report;
   }
 
-  ctx.reachable.resize(modules.size());
-  ctx.fireable.resize(modules.size());
-  for (std::size_t mi = 0; mi < modules.size(); ++mi) {
-    const TransitionSystem& ts = modules[mi]->ts();
-    ctx.fireable[mi].assign(ts.num_events(), false);
-    const StateId init = ts.initial();
-    if (!init.valid() || init.value() >= ts.num_states()) continue;
-    ctx.reachable[mi] = ts.reachable_states();
-    for (const StateId s : ctx.reachable[mi])
-      for (const Transition& t : ts.transitions_from(s))
-        ctx.fireable[mi][t.event.value()] = true;
-  }
+  // One dependency analysis per pass: per-module BFS reachability,
+  // fireable events, and the shared-label structure — the same facts the
+  // rtv/analysis slicer consumes.
+  ctx.graph = analysis::build_depgraph(modules);
 
   check_well_formed(ctx);
   check_reachability(ctx);
   check_engine_range(ctx);
+  check_cone(ctx);
 
   report.sort_by_severity();
   return report;

@@ -4,12 +4,15 @@
 
 #include <vector>
 
+#include "rtv/analysis/depgraph.hpp"
 #include "rtv/lint/lint.hpp"
 
 namespace rtv::lint {
 
-/// Shared state of one lint pass.  The driver precomputes the per-module
-/// reachability facts once; every check family reads them.
+/// Shared state of one lint pass.  The driver builds the dependency
+/// graph (rtv/analysis/depgraph.hpp) once — the same per-module
+/// reachability facts the slicer consumes — and every check family reads
+/// it.
 struct CheckContext {
   const std::vector<const Module*>& modules;
   const std::vector<const SafetyProperty*>& properties;
@@ -22,13 +25,21 @@ struct CheckContext {
   /// non-digitizing peer in the selection it only wastes one engine's
   /// budget (warning).
   bool only_discrete = false;
-  /// Per module: reachable states in BFS order (empty when the module has
-  /// no valid initial state — the well-formedness error covers that).
-  std::vector<std::vector<StateId>> reachable;
-  /// Per module, per event: true iff some reachable state has a
-  /// transition labelled by the event (i.e. the event can ever fire).
-  std::vector<std::vector<bool>> fireable;
+  /// Per-module reachability facts plus the shared-label structure, one
+  /// computation shared between lint and the slicer.
+  analysis::DepGraph graph;
   std::vector<Diagnostic>& out;
+
+  /// Reachable states of module mi in BFS order (empty when the module
+  /// has no valid initial state).
+  const std::vector<StateId>& reachable(std::size_t mi) const {
+    return graph.facts[mi].reachable;
+  }
+  /// True iff event ei of module mi labels a transition from some
+  /// reachable state.
+  bool fireable(std::size_t mi, std::size_t ei) const {
+    return graph.facts[mi].fireable[ei];
+  }
 
   void emit(const char* code, Severity severity, std::string module,
             std::string object, std::string message) {
@@ -47,5 +58,8 @@ void check_reachability(CheckContext& ctx);
 /// RTV-L011..L013: delay constants vs. the time-infinity sentinel, the
 /// digitized state budget and the historical 16-bit age range.
 void check_engine_range(CheckContext& ctx);
+
+/// RTV-L016, L017: what the cone-of-influence slicer would drop.
+void check_cone(CheckContext& ctx);
 
 }  // namespace rtv::lint

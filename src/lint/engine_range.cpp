@@ -53,8 +53,8 @@ void check_engine_range(CheckContext& ctx) {
 
       // The remaining checks predict the digitizing engine's behaviour.
       if (!ctx.targets_discrete) continue;
-      if (mi < ctx.fireable.size() &&
-          ei < ctx.fireable[mi].size() && !ctx.fireable[mi][ei])
+      if (mi < ctx.graph.facts.size() &&
+          ei < ctx.graph.facts[mi].fireable.size() && !ctx.fireable(mi, ei))
         continue;  // never enabled: its constants never drive a clock
 
       // The largest tick count the digitized run must age through before

@@ -17,9 +17,9 @@ void check_unfireable_events(CheckContext& ctx) {
   // RTV-L007: declared but never enabled at any reachable state.
   for (std::size_t mi = 0; mi < ctx.modules.size(); ++mi) {
     const TransitionSystem& ts = ctx.modules[mi]->ts();
-    if (ctx.reachable[mi].empty()) continue;  // RTV-L001 covers this module
+    if (ctx.reachable(mi).empty()) continue;  // RTV-L001 covers this module
     for (std::size_t ei = 0; ei < ts.num_events(); ++ei) {
-      if (ctx.fireable[mi][ei]) continue;
+      if (ctx.fireable(mi, ei)) continue;
       const std::string& label =
           ts.label(EventId(static_cast<std::uint32_t>(ei)));
       ctx.emit(check::kUnfireableEvent, Severity::kWarning,
@@ -38,11 +38,11 @@ void check_dead_signals(CheckContext& ctx) {
   for (std::size_t mi = 0; mi < ctx.modules.size(); ++mi) {
     const TransitionSystem& ts = ctx.modules[mi]->ts();
     if (!ts.has_valuations() || ts.signal_names().empty()) continue;
-    if (ctx.reachable[mi].size() < 2) continue;  // trivially constant
-    const BitVec& first = ts.valuation(ctx.reachable[mi].front());
+    if (ctx.reachable(mi).size() < 2) continue;  // trivially constant
+    const BitVec& first = ts.valuation(ctx.reachable(mi).front());
     for (std::size_t si = 0; si < ts.signal_names().size(); ++si) {
       bool constant = true;
-      for (const StateId s : ctx.reachable[mi]) {
+      for (const StateId s : ctx.reachable(mi)) {
         if (ts.valuation(s).test(si) != first.test(si)) {
           constant = false;
           break;
@@ -65,13 +65,7 @@ void check_disjoint_alphabets(CheckContext& ctx) {
   // and multiplies the state space.
   if (ctx.modules.size() < 2) return;
   for (std::size_t mi = 0; mi < ctx.modules.size(); ++mi) {
-    bool shares = false;
-    for (const std::string& label : ctx.modules[mi]->alphabet()) {
-      for (std::size_t mj = 0; mj < ctx.modules.size() && !shares; ++mj)
-        if (mj != mi && ctx.modules[mj]->has_label(label)) shares = true;
-      if (shares) break;
-    }
-    if (shares) continue;
+    if (!ctx.graph.adjacent[mi].empty()) continue;
     ctx.emit(check::kDisjointAlphabet, Severity::kWarning,
              ctx.modules[mi]->name(), "",
              "module shares no label with any other module of this "
@@ -92,7 +86,7 @@ void check_trivial_deadlock(CheckContext& ctx) {
   if (!wants_deadlock_freedom) return;
 
   const TransitionSystem& ts = ctx.modules[0]->ts();
-  for (const StateId s : ctx.reachable[0]) {
+  for (const StateId s : ctx.reachable(0)) {
     if (!ts.transitions_from(s).empty()) continue;
     std::string where = ts.state_name(s);
     if (where.empty()) where = "state #" + std::to_string(s.value());

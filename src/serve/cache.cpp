@@ -3,9 +3,12 @@
 #include <cstdio>
 #include <fstream>
 #include <iterator>
+#include <memory>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
+#include "rtv/analysis/slice.hpp"
 #include "rtv/base/json.hpp"
 #include "rtv/verify/obligation_hash.hpp"
 
@@ -35,12 +38,16 @@ CacheKey CacheKey::from_hex(const std::string& s) {
 namespace {
 
 /// Feed the full canonical content into one hasher.  Both halves of the
-/// 128-bit key hash the same stream; only the domain seed differs.
-void feed_obligation(Fnv1a& h, const WireObligation& ob, SuiteMode mode,
-                     const std::vector<std::string>& engines,
+/// 128-bit key hash the same stream; only the domain seed differs.  The
+/// module stream is the *sliced canonical reduced form* — the modules the
+/// engines actually verify, in content-hash order — so semantically-equal
+/// obligations (e.g. one padded with out-of-cone modules) share an entry.
+void feed_obligation(Fnv1a& h, const WireObligation& ob,
+                     const std::vector<const Module*>& canonical_modules,
+                     SuiteMode mode, const std::vector<std::string>& engines,
                      std::size_t max_states, double max_seconds,
                      std::size_t max_refinements) {
-  h.str("rtv-obligation-v1");
+  h.str("rtv-obligation-v2");
   h.str(rtv::to_string(mode));
   h.u64(engines.size());
   for (const std::string& e : engines) h.str(e);
@@ -60,8 +67,8 @@ void feed_obligation(Fnv1a& h, const WireObligation& ob, SuiteMode mode,
     h.u64(p.exempt.size());
     for (const std::string& e : p.exempt) h.str(e);
   }
-  h.u64(ob.modules.size());
-  for (const Module& m : ob.modules) hash_module(h, m);
+  h.u64(canonical_modules.size());
+  for (const Module* m : canonical_modules) hash_module(h, *m);
 }
 
 }  // namespace
@@ -70,12 +77,28 @@ CacheKey obligation_cache_key(const WireObligation& ob, SuiteMode mode,
                               const std::vector<std::string>& engines,
                               std::size_t max_states, double max_seconds,
                               std::size_t max_refinements) {
+  // Slice exactly as run_suite() will (rtv/analysis/slice.hpp): the key
+  // must address the question the engines answer, which is the reduced
+  // obligation.  Instantiated property views only live for this call.
+  std::vector<std::unique_ptr<SafetyProperty>> owned_props;
+  std::vector<const SafetyProperty*> prop_ptrs;
+  for (const PropertySpec& p : ob.properties) {
+    owned_props.push_back(p.instantiate());
+    prop_ptrs.push_back(owned_props.back().get());
+  }
+  analysis::SliceOptions so;
+  so.track_chokes = ob.track_chokes;
+  const analysis::SliceResult sl =
+      analysis::slice(ob.module_ptrs(), prop_ptrs, so);
+  const std::vector<const Module*> canonical = analysis::canonical_order(
+      sl.bailout.empty() ? sl.modules : ob.module_ptrs());
+
   CacheKey key;
   Fnv1a a(0x6b65792d68690000ull);  // "key-hi" domain
   Fnv1a b(0x6b65792d6c6f0000ull);  // "key-lo" domain
-  feed_obligation(a, ob, mode, engines, max_states, max_seconds,
+  feed_obligation(a, ob, canonical, mode, engines, max_states, max_seconds,
                   max_refinements);
-  feed_obligation(b, ob, mode, engines, max_states, max_seconds,
+  feed_obligation(b, ob, canonical, mode, engines, max_states, max_seconds,
                   max_refinements);
   key.hi = a.digest();
   key.lo = b.digest();

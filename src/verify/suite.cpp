@@ -11,6 +11,7 @@
 #include <thread>
 #include <utility>
 
+#include "rtv/analysis/slice.hpp"
 #include "rtv/base/json.hpp"
 #include "rtv/base/parallel.hpp"
 #include "rtv/lint/lint.hpp"
@@ -157,6 +158,28 @@ SuiteReport run_suite(const Suite& suite, const SuiteOptions& options) {
       preflights.push_back(lint::lint_obligation(ob, options));
   }
 
+  // Cone-of-influence slicing (rtv/analysis/slice.hpp): verdict-preserving
+  // reduction computed once per obligation, before any engine thread
+  // spawns; the results own the pruned module rebuilds, so they must
+  // outlive the pool.  Lint-rejected obligations never reach an engine,
+  // so their slice is skipped.
+  std::vector<const analysis::SliceResult*> slice_of(suite.size(), nullptr);
+  std::deque<analysis::SliceResult> slices;
+  if (options.slice) {
+    std::size_t si = 0;
+    for (const Obligation& ob : suite.obligations()) {
+      const bool rejected =
+          !preflights.empty() && preflights[si].has_errors();
+      if (!rejected) {
+        analysis::SliceOptions so;
+        so.track_chokes = ob.track_chokes;
+        slices.push_back(analysis::slice(ob.modules, ob.properties, so));
+        slice_of[si] = &slices.back();
+      }
+      ++si;
+    }
+  }
+
   SuiteReport report;
   report.mode = options.mode;
   report.records.resize(tasks.size());
@@ -226,8 +249,39 @@ SuiteReport run_suite(const Suite& suite, const SuiteOptions& options) {
       }
     }
 
+    // Apply the cone-of-influence slice: engines verify the reduced
+    // obligation.  An empty cone means no property can be violated (and,
+    // all dropped components being choke-free, no output refused), so the
+    // record is answered kVerified without running any engine.
+    const analysis::SliceResult* sl = slice_of[task.ob_index];
+    if (sl) {
+      rec.sliced_modules = sl->dropped_modules;
+      rec.sliced_events = sl->dropped_events;
+      if (sl->modules.empty() && sl->bailout.empty()) {
+        rec.result.verdict = Verdict::kVerified;
+        rec.result.message =
+            "statically verified: every module is outside the cone of "
+            "influence of every property";
+        if (options.mode == SuiteMode::kPortfolio) {
+          bool expected = false;
+          if (ctl.decided.compare_exchange_strong(expected, true)) {
+            rec.winner = true;
+            ctl.token.cancel();
+          }
+        } else {
+          rec.winner = true;
+        }
+        if (metered)
+          obs::Registry::global()
+              .counter("rtv_suite_sliced_verified_total", "",
+                       "Suite tasks answered by an empty property cone")
+              .inc();
+        return;
+      }
+    }
+
     EngineRequest req;
-    req.modules = ob.modules;
+    req.modules = sl && !sl->identity ? sl->modules : ob.modules;
     req.properties = ob.properties;
     req.budget.max_states = ob.budget.max_states ? ob.budget.max_states
                                                  : options.budget.max_states;
@@ -431,6 +485,12 @@ std::string SuiteReport::to_json() const {
       }
       out += "]";
     }
+    // Optional likewise: only present when the slicer actually removed
+    // something, so reports from identity slices stay byte-identical.
+    if (r.sliced_modules || r.sliced_events) {
+      out += ",\n      \"sliced_modules\": " + std::to_string(r.sliced_modules);
+      out += ",\n      \"sliced_events\": " + std::to_string(r.sliced_events);
+    }
     out += ",\n      \"message\": ";
     append_string(out, r.result.message);
     out += ",\n      \"trace\": [";
@@ -543,6 +603,19 @@ SuiteReport parse_suite_report(const json::Value& root) {
             "suite report JSON: lint field is not an array");
       for (const json::Value& d : lint_v->array)
         out.lint.push_back(lint::diagnostic_from_json(d, kJsonContext));
+    }
+    // Absent when the slicer was off, bailed out, or removed nothing.
+    if (const json::Value* v = rec.find("sliced_modules")) {
+      if (v->kind != Kind::kNumber)
+        throw std::runtime_error(
+            "suite report JSON: sliced_modules is not a number");
+      out.sliced_modules = static_cast<std::size_t>(v->number);
+    }
+    if (const json::Value* v = rec.find("sliced_events")) {
+      if (v->kind != Kind::kNumber)
+        throw std::runtime_error(
+            "suite report JSON: sliced_events is not a number");
+      out.sliced_events = static_cast<std::size_t>(v->number);
     }
     out.result.message =
         require(rec, "message", Kind::kString, "message").string;

@@ -133,11 +133,51 @@ TEST(FuzzGenerator, ConfigJsonRoundTrips) {
   config.point_delays = true;
   config.gates = false;
   config.deadlock_check = true;
+  config.padding_modules = 3;
   const GeneratorConfig back = GeneratorConfig::from_json(config.to_json());
   EXPECT_EQ(back, config);
   EXPECT_THROW(GeneratorConfig::from_json("not json"), std::runtime_error);
   EXPECT_THROW(GeneratorConfig::from_json("{\"schema\":\"bogus\"}"),
                std::runtime_error);
+}
+
+TEST(FuzzGenerator, PreSlicerConfigsParseWithoutPadding) {
+  // Configs serialized before padding_modules existed omit the field;
+  // they must keep replaying byte-identically (padding defaults to 0).
+  GeneratorConfig config;
+  config.padding_modules = 0;
+  std::string json = config.to_json();
+  const std::string field = ",\"padding_modules\":0";
+  const std::size_t at = json.find(field);
+  ASSERT_NE(at, std::string::npos);
+  json.erase(at, field.size());
+  EXPECT_EQ(GeneratorConfig::from_json(json), config);
+}
+
+TEST(FuzzGenerator, PaddingModulesAreDisconnectedAndRngNeutral) {
+  GeneratorConfig config;
+  config.modules = 3;
+  config.padding_modules = 2;
+  const Scenario padded = generate(11, config);
+  config.padding_modules = 0;
+  const Scenario plain = generate(11, config);
+
+  // Padding rides after monitors and draws nothing from the rng: the
+  // shared prefix is byte-identical.
+  ASSERT_EQ(padded.modules.size(), plain.modules.size() + 2);
+  for (std::size_t i = 0; i < plain.modules.size(); ++i)
+    EXPECT_EQ(padded.modules[i].name(), plain.modules[i].name());
+
+  // Fresh private labels only — never shared with the system.
+  std::set<std::string> system_labels;
+  for (std::size_t i = 0; i < plain.modules.size(); ++i)
+    for (const std::string& l : padded.modules[i].alphabet())
+      system_labels.insert(l);
+  for (std::size_t i = plain.modules.size(); i < padded.modules.size(); ++i) {
+    EXPECT_NE(padded.modules[i].name().find("toggler"), std::string::npos);
+    for (const std::string& l : padded.modules[i].alphabet())
+      EXPECT_EQ(system_labels.count(l), 0u) << l;
+  }
 }
 
 TEST(FuzzGenerator, CaseSeedsAreStableAndSpread) {

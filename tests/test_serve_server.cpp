@@ -301,6 +301,53 @@ TEST(ServePersistence, CacheSurvivesDaemonRestart) {
   }
 }
 
+TEST(ServePersistence, PaddedObligationHitsUnpaddedEntryAcrossRestart) {
+  // The cache keys on the *sliced* canonical form: a disconnected
+  // always-live toggler is outside the invariant's cone, so padding the
+  // intro obligation with it must not change its key — even across a
+  // daemon restart, where only the persisted key/verdict pairs survive.
+  const std::string socket = unique_socket();
+  TempFile cache_file("padded");
+
+  const auto padded_intro = [] {
+    WireObligation ob = intro_obligation("padded");
+    Module pad = gallery::ring({{"pad_a", DelayInterval(1, 2)},
+                                {"pad_b", DelayInterval(1, 2)}});
+    for (std::size_t ei = 0; ei < pad.ts().num_events(); ++ei)
+      pad.ts().set_event_kind(EventId(static_cast<std::uint32_t>(ei)),
+                              EventKind::kInternal);
+    pad.set_name("pad_toggler");
+    ob.modules.push_back(std::move(pad));
+    return ob;
+  };
+
+  {
+    auto server = start_server(socket, cache_file.path);
+    Client client;
+    client.connect(socket);
+    const ServeResponse resp =
+        client.call(verify_request({intro_obligation()}));
+    ASSERT_TRUE(resp.ok) << resp.error;
+    EXPECT_FALSE(resp.report.records[0].cached);
+    server->stop();  // persists the cache
+  }
+
+  {
+    auto server = start_server(socket, cache_file.path);
+    Client client;
+    client.connect(socket);
+    const ServeResponse resp = client.call(verify_request({padded_intro()}));
+    ASSERT_TRUE(resp.ok) << resp.error;
+    ASSERT_EQ(resp.report.records.size(), 1u);
+    EXPECT_TRUE(resp.report.records[0].cached);
+    EXPECT_EQ(resp.report.records[0].result.verdict, Verdict::kVerified);
+    const ServeStats stats = server->stats();
+    EXPECT_EQ(stats.computed, 0u);
+    EXPECT_EQ(stats.cache_hits, 1u);
+    server->stop();
+  }
+}
+
 TEST(ServePersistence, CorruptCacheFileRefusesToStart) {
   const std::string socket = unique_socket();
   TempFile cache_file("corrupt");

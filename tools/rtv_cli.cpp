@@ -22,6 +22,10 @@
 //                              (static model analysis, no engine runs; the
 //                              files form one composed obligation; exit 0 =
 //                              clean, 1 = warnings, 2 = errors)
+//   rtv slice     a.g b.g ...  [--no-deadlock] [--no-persistency] [--json F|-]
+//                              (cone-of-influence slice of the composed
+//                              obligation: what the suite's slicer would
+//                              drop, with full provenance; no engine runs)
 //   rtv fuzz                   [--seed S] [--cases N] [--seconds S] [--jobs N]
 //                              [--engines NAME,NAME] [--modules N] [--events N]
 //                              [--max-delay T] [--properties N] [--config F]
@@ -67,6 +71,8 @@
 #include <string>
 #include <vector>
 
+#include "rtv/analysis/slice.hpp"
+#include "rtv/base/json.hpp"
 #include "rtv/fuzz/campaign.hpp"
 #include "rtv/ipcmos/experiments.hpp"
 #include "rtv/lint/lint.hpp"
@@ -111,17 +117,21 @@ int usage() {
       "  rtv lint      <stg.g>... [--engine NAME[,NAME...]] [--max-states N]\n"
       "                           [--no-deadlock] [--no-persistency] [--json FILE|-]\n"
       "                           (exit: 0 clean, 1 warnings, 2 errors)\n"
+      "  rtv slice     <stg.g>... [--no-deadlock] [--no-persistency] [--json FILE|-]\n"
+      "                           (cone-of-influence slice of the composed\n"
+      "                           obligation; exit 0 = sliced/identity)\n"
       "  rtv fuzz                 [--seed S] [--cases N] [--seconds S] [--jobs N]\n"
       "                           [--engines NAME,NAME...] [--modules N] [--events N]\n"
       "                           [--max-delay TICKS] [--properties N] [--config FILE]\n"
-      "                           [--max-states N] [--timeout S] [--no-minimize]\n"
-      "                           [--replay] [--json FILE]\n"
+      "                           [--padding-modules N] [--max-states N] [--timeout S]\n"
+      "                           [--no-minimize] [--replay] [--json FILE]\n"
       "  rtv ipcmos               [--engine NAME[,NAME...]] [--jobs N] [--json FILE]\n"
       "  rtv serve                --socket PATH [--cache FILE] [--jobs N]\n"
       "                           [--max-cache-entries N] [--heartbeat S]\n"
       "  rtv client    <stg.g>... --socket PATH [--engines NAME,NAME...] [--portfolio]\n"
-      "                           [--timeout S] [--max-states N] [--max-ref N]\n"
-      "                           [--no-deadlock] [--no-persistency] [--json FILE]\n"
+      "                           [--compose] [--timeout S] [--max-states N]\n"
+      "                           [--max-ref N] [--no-deadlock] [--no-persistency]\n"
+      "                           [--json FILE]\n"
       "  rtv client               --socket PATH (--ping | --stats [--json FILE|-]\n"
       "                           | --metrics | --shutdown)\n"
       "  (all run subcommands also accept --trace FILE and --progress-json)\n"
@@ -458,6 +468,95 @@ int cmd_lint(const std::vector<std::string>& files,
   return report.exit_code();
 }
 
+/// Machine-readable slice report; schema mirrors the library's other JSON
+/// documents (stable tag + version, see docs/CLI.md).
+std::string slice_to_json(const analysis::SliceResult& sl,
+                          std::size_t total_modules) {
+  std::string out = "{\"schema\":";
+  json::append_string(out, "rtv-slice-report");
+  out += ",\"schema_version\":1";
+  out += ",\"modules\":" + std::to_string(total_modules);
+  out += ",\"kept\":[";
+  for (std::size_t i = 0; i < sl.modules.size(); ++i) {
+    if (i) out += ",";
+    json::append_string(out, sl.modules[i]->name());
+  }
+  out += "],\"identity\":";
+  out += sl.identity ? "true" : "false";
+  out += ",\"dropped_modules\":" + std::to_string(sl.dropped_modules);
+  out += ",\"dropped_events\":" + std::to_string(sl.dropped_events);
+  out += ",\"pruned_states\":" + std::to_string(sl.pruned_states);
+  if (!sl.bailout.empty()) {
+    out += ",\"bailout\":";
+    json::append_string(out, sl.bailout);
+  }
+  out += ",\"notes\":[";
+  for (std::size_t i = 0; i < sl.notes.size(); ++i) {
+    if (i) out += ",";
+    const analysis::SliceNote& n = sl.notes[i];
+    out += "{\"kind\":";
+    json::append_string(out, n.kind);
+    out += ",\"module\":";
+    json::append_string(out, n.module);
+    out += ",\"object\":";
+    json::append_string(out, n.object);
+    out += ",\"reason\":";
+    json::append_string(out, n.reason);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+int cmd_slice(const std::vector<std::string>& files,
+              const VerifyCliOptions& cli) {
+  // Like `rtv lint`, the files form one composed obligation with the
+  // default properties; the output is what `run_suite` would hand the
+  // engines after slicing, plus the provenance of everything removed.
+  const LoadedModules mods = load_all(files);
+  DeadlockFreedom dead;
+  PersistencyProperty pers;
+  std::vector<const SafetyProperty*> props;
+  if (cli.deadlock) props.push_back(&dead);
+  if (cli.persistency) props.push_back(&pers);
+
+  const analysis::SliceResult sl = analysis::slice(mods.ptrs, props);
+
+  if (cli.json_path == "-") {
+    std::printf("%s\n", slice_to_json(sl, mods.ptrs.size()).c_str());
+    return 0;
+  }
+  std::printf("== slice ==\n");
+  if (!sl.bailout.empty()) {
+    std::printf("identity (bailout): %s\n", sl.bailout.c_str());
+  } else if (sl.identity) {
+    std::printf("identity: nothing is provably outside the cone\n");
+  } else {
+    std::printf("kept:          %zu of %zu module(s)\n", sl.modules.size(),
+                mods.ptrs.size());
+    std::printf("dropped:       %zu module(s), %zu event(s)\n",
+                sl.dropped_modules, sl.dropped_events);
+    std::printf("pruned:        %zu unreachable state(s)\n",
+                sl.pruned_states);
+  }
+  for (const analysis::SliceNote& n : sl.notes) {
+    if (n.kind == "bailout") continue;  // already printed above
+    if (n.module.empty()) {
+      std::printf("  [%s] %s\n", n.kind.c_str(), n.reason.c_str());
+    } else if (n.object.empty()) {
+      std::printf("  [%s] %s: %s\n", n.kind.c_str(), n.module.c_str(),
+                  n.reason.c_str());
+    } else {
+      std::printf("  [%s] %s/%s: %s\n", n.kind.c_str(), n.module.c_str(),
+                  n.object.c_str(), n.reason.c_str());
+    }
+  }
+  if (!cli.json_path.empty() &&
+      !write_text(slice_to_json(sl, mods.ptrs.size()), cli.json_path))
+    return kExitRuntime;
+  return 0;
+}
+
 int cmd_simulate(const std::vector<std::string>& files, std::size_t events,
                  std::uint64_t seed, const std::string& vcd,
                  const std::vector<std::string>& signals) {
@@ -521,6 +620,9 @@ struct ServeCliOptions {
   std::size_t max_cache_entries = 4096;
   double heartbeat_seconds = 0.0;
   bool portfolio = false;
+  /// Compose every input file into ONE obligation (the `rtv verify` /
+  /// `rtv portfolio` shape) instead of one obligation per file.
+  bool compose = false;
   bool ping = false;
   bool stats = false;
   bool metrics = false;
@@ -647,14 +749,32 @@ int cmd_client(const std::vector<std::string>& files,
   req.max_states = cli.max_states;
   req.max_seconds = cli.timeout_seconds;
   req.max_refinements = cli.max_ref;
-  for (const std::string& f : files) {
+  if (scli.compose) {
+    // One obligation composing every file over shared labels — the same
+    // shape `rtv verify`/`rtv portfolio` check locally.  Because the
+    // daemon keys its cache on the *sliced* canonical form, two composed
+    // requests differing only in out-of-cone padding share one entry.
     serve::WireObligation ob;
-    ob.name = f;
-    ob.modules.push_back(elaborate(load(f)));
+    for (const std::string& f : files) {
+      ob.modules.push_back(elaborate(load(f)));
+      if (!ob.name.empty()) ob.name += " || ";
+      ob.name += ob.modules.back().name();
+    }
     if (cli.deadlock) ob.properties.push_back(serve::PropertySpec::deadlock());
     if (cli.persistency)
       ob.properties.push_back(serve::PropertySpec::persistency());
     req.obligations.push_back(std::move(ob));
+  } else {
+    for (const std::string& f : files) {
+      serve::WireObligation ob;
+      ob.name = f;
+      ob.modules.push_back(elaborate(load(f)));
+      if (cli.deadlock)
+        ob.properties.push_back(serve::PropertySpec::deadlock());
+      if (cli.persistency)
+        ob.properties.push_back(serve::PropertySpec::persistency());
+      req.obligations.push_back(std::move(ob));
+    }
   }
 
   const serve::ServeResponse resp = client.call(req);
@@ -802,6 +922,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--properties") {
       fuzz_opt.config.properties =
           static_cast<std::uint32_t>(parse_size(arg, next()));
+    } else if (arg == "--padding-modules") {
+      fuzz_opt.config.padding_modules =
+          static_cast<std::uint32_t>(parse_size(arg, next()));
     } else if (arg == "--config") {
       const std::string path = next();
       std::ifstream in(path);
@@ -831,6 +954,8 @@ int main(int argc, char** argv) {
       serve_opt.heartbeat_seconds = parse_double(arg, next());
     } else if (arg == "--portfolio") {
       serve_opt.portfolio = true;
+    } else if (arg == "--compose") {
+      serve_opt.compose = true;
     } else if (arg == "--ping") {
       serve_opt.ping = true;
     } else if (arg == "--stats") {
@@ -867,6 +992,7 @@ int main(int argc, char** argv) {
       return cmd_portfolio(files, vopts);
     if (cmd == "engines") return cmd_engines();
     if (cmd == "lint" && !files.empty()) return cmd_lint(files, vopts);
+    if (cmd == "slice" && !files.empty()) return cmd_slice(files, vopts);
     if (cmd == "fuzz" && files.empty()) {
       fuzz_opt.seed = seed;
       if (!vopts.engines.empty()) fuzz_opt.engines = vopts.engines;
